@@ -1,0 +1,44 @@
+// Ablation: subarray height.  Taller subarrays amortize periphery (fewer
+// SAs and drivers per bit) but lengthen the bitlines the cells must drive
+// — the physics behind the evaluated 128-row subarray.  Timing comes from
+// the first-principles latency model (validated against the paper's
+// 18.3-8.9-151.1 ns triplet at 128 rows); throughput re-prices the
+// 128-row OR under each derived triplet.
+#include <cstdio>
+
+#include "circuit/latency_model.hpp"
+#include "common/table.hpp"
+#include "nvm/area_model.hpp"
+
+using namespace pinatubo;
+
+int main() {
+  const circuit::LatencyModel model(nvm::cell_params(nvm::Tech::kPcm));
+
+  Table t("Ablation — subarray height (derived timing, PCM)");
+  t.set_header({"rows", "tRCD ns", "tCL ns", "tWR ns", "128-row OR @2^19",
+                "periphery mm^2"});
+  for (const unsigned rows : {64u, 128u, 256u, 512u}) {
+    const auto d = model.derive(rows, 1024);
+    // One 128-row OR over a full row group under this triplet:
+    // cmds + tRCD + 31*tCL + tWR (see PinatuboCostModel).
+    const double cmds = (1 + 1 + 128 + 32 + 1) * 1.25;
+    const double op_ns = cmds + d.t_rcd_ns + 31 * d.t_cl_ns + d.t_wr_ns;
+
+    nvm::ChipStructure chip;  // constant capacity: trade rows vs subarrays
+    chip.rows_per_subarray = rows;
+    chip.subarrays_per_bank = 64 * 128 / rows;
+    const nvm::AreaModel area(nvm::cell_params(nvm::Tech::kPcm), chip);
+    const auto base = area.baseline();
+    const double periphery =
+        (base.total_um2() - base.find("cell array")) / 1e6;
+
+    t.add_row({std::to_string(rows), Table::num(d.t_rcd_ns, 4),
+               Table::num(d.t_cl_ns, 4), Table::num(d.t_wr_ns, 4),
+               Table::num(op_ns, 4) + " ns", Table::num(periphery, 4)});
+  }
+  t.add_note("paper's design point: 128 rows -> 18.3-8.9-151.1 ns (CACTI)");
+  t.add_note("derived at 128 rows: see tests/circuit/test_latency_model.cpp");
+  t.print();
+  return 0;
+}

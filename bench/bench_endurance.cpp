@@ -1,0 +1,95 @@
+// Extension beyond the paper: PCM write endurance under PIM.
+//
+// Every Pinatubo op ends in a row write, and chained ops (Pinatubo-2, or
+// any AND/XOR fold) hammer their accumulator row once per step.  This runs
+// a sustained multi-operand OR workload through the functional runtime for
+// both configurations and reads the wear ledger: row writes, hot-spot
+// imbalance, and the implied lifetime of the hottest row at a sustained
+// op rate — multi-row activation turns out to be an ENDURANCE feature,
+// not just a performance one.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "pinatubo/driver.hpp"
+
+using namespace pinatubo;
+
+namespace {
+
+struct WearResult {
+  mem::WearTracker wear;
+  double op_time_ns;
+};
+
+WearResult run(unsigned max_rows) {
+  core::PimRuntime::Options opts;
+  opts.max_rows = max_rows;
+  core::PimRuntime pim(mem::Geometry{}, opts);
+  Rng rng(5);
+
+  const std::uint64_t bits = 1ull << 14;
+  std::vector<core::PimRuntime::Handle> vecs;
+  for (int i = 0; i < 64; ++i) {
+    vecs.push_back(pim.pim_malloc(bits));
+    pim.pim_write(vecs.back(), BitVector::random(bits, 0.3, rng));
+  }
+  pim.memory().wear().reset();  // measure op-induced wear only
+  pim.reset_cost();
+
+  // 50 rounds of a 64-operand OR accumulated into the last vector.
+  for (int round = 0; round < 50; ++round)
+    pim.pim_op(BitOp::kOr, vecs, vecs.back());
+  return {pim.memory().wear(), pim.cost().time_ns};
+}
+
+}  // namespace
+
+int main() {
+  const auto pin128 = run(128);
+  const auto pin2 = run(2);
+
+  // PCM cell endurance ~1e8; assume the DIMM sustains ops back-to-back.
+  const double endurance = 1e8;
+  auto rate = [](const WearResult& r) {
+    return static_cast<double>(r.wear.total_row_writes()) /
+           (r.op_time_ns * 1e-9);
+  };
+
+  Table t("Extension — PCM endurance under chained vs multi-row ops");
+  t.set_header({"metric", "Pinatubo-128", "Pinatubo-2"});
+  t.add_row({"row writes (50x 64-op OR)",
+             std::to_string(pin128.wear.total_row_writes()),
+             std::to_string(pin2.wear.total_row_writes())});
+  t.add_row({"hottest row writes", std::to_string(pin128.wear.max_row_writes()),
+             std::to_string(pin2.wear.max_row_writes())});
+  t.add_row({"wear imbalance (max/mean)",
+             Table::num(pin128.wear.imbalance(), 3),
+             Table::num(pin2.wear.imbalance(), 3)});
+  t.add_row({"workload time", units::format_time(pin128.op_time_ns),
+             units::format_time(pin2.op_time_ns)});
+  auto lifetime_s = [&](const WearResult& r) {
+    return r.wear.lifetime_years(endurance, rate(r)) * 365.25 * 24 * 3600;
+  };
+  t.add_row({"hot-row lifetime @1e8 cycles, 100% duty",
+             Table::num(lifetime_s(pin128), 3) + " s",
+             Table::num(lifetime_s(pin2), 3) + " s"});
+  // Rotating the accumulator across the subarray's 128 rows (a trivial
+  // allocator policy) spreads the hot spot.
+  t.add_row({"ditto, with 128-row accumulator rotation",
+             Table::num(lifetime_s(pin128) * 128 / 3600, 3) + " h",
+             Table::num(lifetime_s(pin2) * 128 / 3600, 3) + " h"});
+  t.add_note("a 2-row chain writes its accumulator once per step: 63");
+  t.add_note("intermediate writes per op vs one for a 128-row activation —");
+  t.add_note("multi-row activation is an endurance feature, and sustained");
+  t.add_note("PIM accumulation NEEDS wear rotation: a hammered PCM row");
+  t.add_note("dies in seconds at full duty cycle");
+  t.print();
+
+  const double wear_ratio =
+      static_cast<double>(pin2.wear.max_row_writes()) /
+      static_cast<double>(pin128.wear.max_row_writes());
+  std::printf("\nhot-row wear, Pinatubo-2 vs Pinatubo-128: %.0fx\n",
+              wear_ratio);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Fig. 10: speedup on the bitwise operations themselves,
+// normalized to the SIMD baseline, over the Table-1 workload suite
+// (5 Vector configs, 3 graphs, 3 Fastbit batches) for S-DRAM, AC-PIM,
+// Pinatubo-2 and Pinatubo-128.
+//
+// Normalization follows the paper: S-DRAM vs SIMD-on-DRAM; AC-PIM and
+// Pinatubo vs SIMD-on-PCM.
+//
+// Expected shape (paper): S-DRAM beats Pinatubo-2 on the long 2-row
+// sequential case; Pinatubo-128 ~22x over S-DRAM on average; AC-PIM slower
+// than Pinatubo everywhere; 14-16-7r (random) collapses Pinatubo-128 to
+// Pinatubo-2; overall Gmean for Pinatubo-128 ~500x.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "pinatubo/backend.hpp"
+#include "sim/acpim_backend.hpp"
+#include "sim/sdram_backend.hpp"
+
+using namespace pinatubo;
+using namespace pinatubo::bench;
+
+int main(int argc, char** argv) {
+  const double scale = parse_scale(argc, argv);
+  const auto workloads = apps::paper_workloads(scale);
+  const auto baselines = run_baselines(workloads);
+
+  sim::SdramBackend sdram;
+  sim::AcPimBackend acpim;
+  core::PinatuboBackend pin2({}, {nvm::Tech::kPcm, 2});
+  core::PinatuboBackend pin128({}, {nvm::Tech::kPcm, 128});
+
+  const std::vector<SuiteRun> runs{
+      run_suite(sdram, workloads), run_suite(acpim, workloads),
+      run_suite(pin2, workloads), run_suite(pin128, workloads)};
+  const std::vector<bool> vs_dram{true, false, false, false};
+
+  const auto matrix = build_matrix(
+      workloads, baselines, runs, vs_dram,
+      [](const sim::BackendResult& r) { return r.bitwise.time_ns; });
+
+  auto table = matrix_table(
+      "Fig. 10 — bitwise-op speedup normalized to SIMD", matrix, workloads);
+  table.add_note("paper: Pinatubo-128 ~22x over S-DRAM; Gmean ~500x;");
+  table.add_note("paper: 14-16-7r collapses Pinatubo-128 to Pinatubo-2;");
+  table.add_note("paper: AC-PIM slower than Pinatubo in every case.");
+  table.print();
+
+  std::printf("\nPinatubo-128 / S-DRAM (Gmean): %.1fx\n",
+              matrix.gmean[3] / matrix.gmean[0]);
+
+  LogChart chart("Fig. 10 — speedup over SIMD", "speedup (x)");
+  std::vector<std::string> labels;
+  for (const auto& w : workloads) labels.push_back(w.name);
+  chart.set_x_labels(labels);
+  for (std::size_t b = 0; b < runs.size(); ++b) {
+    std::vector<double> ys;
+    for (const auto& row : matrix.ratios) ys.push_back(row[b]);
+    chart.add_series(matrix.backend_names[b], ys);
+  }
+  chart.print();
+  return 0;
+}

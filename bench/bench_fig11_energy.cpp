@@ -1,0 +1,55 @@
+// Reproduces Fig. 11: energy saving on the bitwise operations, normalized
+// to the SIMD baseline, same workload/architecture matrix as Fig. 10.
+//
+// Expected shape (paper): S-DRAM better than Pinatubo-2 in some cases but
+// worse than Pinatubo-128 on average; AC-PIM never saves more energy than
+// any of the other three; Pinatubo saves ~2800x on average (the abstract
+// headlines ~28000x on the best cases).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "pinatubo/backend.hpp"
+#include "sim/acpim_backend.hpp"
+#include "sim/sdram_backend.hpp"
+
+using namespace pinatubo;
+using namespace pinatubo::bench;
+
+int main(int argc, char** argv) {
+  const double scale = parse_scale(argc, argv);
+  const auto workloads = apps::paper_workloads(scale);
+  const auto baselines = run_baselines(workloads);
+
+  sim::SdramBackend sdram;
+  sim::AcPimBackend acpim;
+  core::PinatuboBackend pin2({}, {nvm::Tech::kPcm, 2});
+  core::PinatuboBackend pin128({}, {nvm::Tech::kPcm, 128});
+
+  const std::vector<SuiteRun> runs{
+      run_suite(sdram, workloads), run_suite(acpim, workloads),
+      run_suite(pin2, workloads), run_suite(pin128, workloads)};
+  const std::vector<bool> vs_dram{true, false, false, false};
+
+  const auto matrix = build_matrix(
+      workloads, baselines, runs, vs_dram,
+      [](const sim::BackendResult& r) { return r.bitwise.energy.total_pj(); });
+
+  auto table = matrix_table(
+      "Fig. 11 — bitwise-op energy saving normalized to SIMD", matrix,
+      workloads);
+  table.add_note("paper: Pinatubo saves ~2800x on average (Gmean);");
+  table.add_note("paper: AC-PIM never beats S-DRAM/Pinatubo on energy.");
+  table.print();
+
+  LogChart chart("Fig. 11 — energy saving over SIMD", "saving (x)");
+  std::vector<std::string> labels;
+  for (const auto& w : workloads) labels.push_back(w.name);
+  chart.set_x_labels(labels);
+  for (std::size_t b = 0; b < runs.size(); ++b) {
+    std::vector<double> ys;
+    for (const auto& row : matrix.ratios) ys.push_back(row[b]);
+    chart.add_series(matrix.backend_names[b], ys);
+  }
+  chart.print();
+  return 0;
+}

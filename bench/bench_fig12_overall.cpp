@@ -1,0 +1,69 @@
+// Reproduces Fig. 12: OVERALL application speedup and energy saving
+// (scalar + bitwise) on the Graph and Fastbit applications, normalized to
+// the SIMD baseline, including the Ideal bound (zero-cost bitwise ops).
+//
+// Expected shape (paper): Pinatubo almost reaches Ideal; dblp ~1.37x,
+// the loose graphs (eswiki, amazon) far less; Fastbit ~1.29x; overall
+// ~1.12x speedup / ~1.11x energy (abstract).  The ceiling is Amdahl's law
+// on the bitwise fraction of each application.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "pinatubo/backend.hpp"
+#include "sim/acpim_backend.hpp"
+#include "sim/ideal_backend.hpp"
+#include "sim/sdram_backend.hpp"
+
+using namespace pinatubo;
+using namespace pinatubo::bench;
+
+namespace {
+
+void print_matrix(const char* title, const std::vector<apps::NamedTrace>& w,
+                  const Baselines& base, const std::vector<SuiteRun>& runs,
+                  const std::vector<bool>& vs_dram, const Metric& metric) {
+  const auto matrix = build_matrix(w, base, runs, vs_dram, metric);
+  auto table = matrix_table(title, matrix, w);
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  auto workloads = apps::graph_workloads();
+  for (auto& t : apps::fastbit_workloads()) workloads.push_back(std::move(t));
+  const auto baselines = run_baselines(workloads);
+
+  sim::SdramBackend sdram;
+  sim::AcPimBackend acpim;
+  core::PinatuboBackend pin2({}, {nvm::Tech::kPcm, 2});
+  core::PinatuboBackend pin128({}, {nvm::Tech::kPcm, 128});
+  sim::IdealBackend ideal(sim::MemKind::kPcm);
+
+  const std::vector<SuiteRun> runs{
+      run_suite(sdram, workloads), run_suite(acpim, workloads),
+      run_suite(pin2, workloads), run_suite(pin128, workloads),
+      run_suite(ideal, workloads)};
+  const std::vector<bool> vs_dram{true, false, false, false, false};
+
+  print_matrix("Fig. 12 (left) — overall speedup normalized to SIMD",
+               workloads, baselines, runs, vs_dram,
+               [](const sim::BackendResult& r) { return r.total_time_ns(); });
+  print_matrix("Fig. 12 (right) — overall energy saving normalized to SIMD",
+               workloads, baselines, runs, vs_dram,
+               [](const sim::BackendResult& r) { return r.total_energy_pj(); });
+
+  // Bitwise time fraction under the SIMD baseline — the Amdahl ceiling.
+  Table frac("Bitwise fraction of SIMD-PCM execution (Amdahl ceiling)");
+  frac.set_header({"workload", "bitwise %", "ideal speedup"});
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const auto& r = baselines.simd_pcm.results[i];
+    const double f = r.bitwise.time_ns / r.total_time_ns();
+    frac.add_row({workloads[i].name, Table::num(100 * f, 3),
+                  Table::mult(1.0 / (1.0 - f))});
+  }
+  frac.add_note("paper: dblp 1.37x, Fastbit ~1.29x, overall 1.12x");
+  frac.print();
+  return 0;
+}

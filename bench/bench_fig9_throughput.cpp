@@ -1,0 +1,64 @@
+// Reproduces Fig. 9: Pinatubo's OR-operation throughput (GBps) versus
+// bit-vector length (2^10 .. 2^20) for 2..128-row operations.
+//
+// Expected shape (paper):
+//   * throughput rises with vector length;
+//   * turning point A at 2^14 (SA sharing: longer vectors need serial
+//     column sensing steps);
+//   * turning point B at 2^19 (row-group limit: longer vectors map to
+//     ranks that work in serial);
+//   * more rows per op => proportionally more equivalent bandwidth,
+//     crossing from below the DDR3 bus bandwidth (12.8 GB/s) through the
+//     memory-internal region into the beyond-internal region (~1e4 GBps).
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "pinatubo/backend.hpp"
+
+using namespace pinatubo;
+
+int main() {
+  const mem::Geometry geo;
+  core::PinatuboBackend pin(geo, {nvm::Tech::kPcm, 128});
+
+  const std::vector<unsigned> row_counts{2, 4, 8, 16, 32, 64, 128};
+  std::vector<std::string> x_labels;
+  for (unsigned a = 10; a <= 20; ++a) x_labels.push_back(std::to_string(a));
+
+  Table table("Fig. 9 — Pinatubo OR throughput (GBps) vs bit-vector length");
+  std::vector<std::string> header{"rows\\len(2^n)"};
+  for (const auto& x : x_labels) header.push_back(x);
+  table.set_header(header);
+
+  LogChart chart("Fig. 9 — OR throughput", "GBps");
+  chart.set_x_labels(x_labels);
+  chart.add_hline("DDR3 bus bandwidth", 12.8);
+
+  for (const unsigned n : row_counts) {
+    std::vector<std::string> row{std::to_string(n) + "-row"};
+    std::vector<double> series;
+    for (unsigned a = 10; a <= 20; ++a) {
+      const std::uint64_t bits = 1ull << a;
+      // n consecutively allocated vectors, in-place destination.
+      std::vector<std::uint64_t> ids;
+      for (unsigned k = 0; k < n; ++k) ids.push_back(k);
+      const auto cost = pin.op_cost(BitOp::kOr, ids, n - 1, bits, false, 0.5);
+      const double gbps =
+          static_cast<double>(n) * static_cast<double>(bits) / 8.0 /
+          cost.time_ns;
+      row.push_back(Table::num(gbps, 3));
+      series.push_back(gbps);
+    }
+    table.add_row(row);
+    chart.add_series(std::to_string(n) + "-row", series);
+  }
+  table.add_note("turning point A expected at 2^14 (SA 32:1 sharing)");
+  table.add_note("turning point B expected at 2^19 (row-group / rank limit)");
+  table.add_note("DDR3-1600 bus bandwidth = 12.8 GBps");
+  table.print();
+  std::printf("\n");
+  chart.print();
+  return 0;
+}

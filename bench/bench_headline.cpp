@@ -1,0 +1,54 @@
+// The abstract's headline numbers, regenerated end-to-end:
+//   "~500x speedup, ~28000x energy saving on bitwise operations, and
+//    1.12x overall speedup, 1.11x overall energy saving over the
+//    conventional processor"  (§6.2 quotes 2800x for the energy Gmean).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "pinatubo/backend.hpp"
+
+using namespace pinatubo;
+using namespace pinatubo::bench;
+
+int main(int argc, char** argv) {
+  const double scale = parse_scale(argc, argv);
+  const auto workloads = apps::paper_workloads(scale);
+  const auto baselines = run_baselines(workloads);
+  core::PinatuboBackend pin128({}, {nvm::Tech::kPcm, 128});
+  const auto run = run_suite(pin128, workloads);
+
+  std::vector<double> sp_bit, en_bit, sp_all, en_all, sp_best, en_best;
+  std::vector<double> sp_apps, en_apps;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const auto& base = baselines.simd_pcm.results[i];
+    const auto& ours = run.results[i];
+    sp_bit.push_back(base.bitwise.time_ns / ours.bitwise.time_ns);
+    en_bit.push_back(base.bitwise.energy.total_pj() /
+                     ours.bitwise.energy.total_pj());
+    if (workloads[i].group != "Vector") {
+      sp_apps.push_back(base.total_time_ns() / ours.total_time_ns());
+      en_apps.push_back(base.total_energy_pj() / ours.total_energy_pj());
+    }
+  }
+
+  Table t("Headline numbers (abstract) — measured vs paper");
+  t.set_header({"metric", "measured", "paper"});
+  t.add_row({"bitwise speedup (Gmean)", Table::mult(geomean(sp_bit)),
+             "~500x"});
+  t.add_row({"bitwise speedup (best workload)",
+             Table::mult(*std::max_element(sp_bit.begin(), sp_bit.end())),
+             "-"});
+  t.add_row({"bitwise energy saving (Gmean)", Table::mult(geomean(en_bit)),
+             "~2800x (abstract: ~28000x)"});
+  t.add_row({"bitwise energy saving (best)",
+             Table::mult(*std::max_element(en_bit.begin(), en_bit.end())),
+             "-"});
+  t.add_row({"overall app speedup (Gmean)", Table::mult(geomean(sp_apps)),
+             "1.12x"});
+  t.add_row({"overall app energy saving (Gmean)",
+             Table::mult(geomean(en_apps)), "1.11x"});
+  t.add_note("overall = Graph + Fastbit applications, vs SIMD on PCM");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// google-benchmark microbench of the host bit-vector substrate: the
+// kernels every functional path and the SIMD baseline's ground truth run
+// on.  Not a paper figure — a regression guard for the simulator's own
+// performance.
+#include <benchmark/benchmark.h>
+
+#include "bitvec/bitvector.hpp"
+#include "common/random.hpp"
+
+using namespace pinatubo;
+
+namespace {
+
+BitVector make_vec(std::size_t bits, std::uint64_t seed) {
+  Rng rng(seed);
+  return BitVector::random(bits, 0.5, rng);
+}
+
+void BM_BitVectorOr(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  auto a = make_vec(bits, 1);
+  const auto b = make_vec(bits, 2);
+  for (auto _ : state) {
+    a |= b;
+    benchmark::DoNotOptimize(a.words().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits / 8));
+}
+
+void BM_BitVectorAndNot(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto a = make_vec(bits, 3);
+  const auto b = make_vec(bits, 4);
+  for (auto _ : state) {
+    auto r = BitVector::and_not(a, b);
+    benchmark::DoNotOptimize(r.words().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits / 8));
+}
+
+void BM_BitVectorPopcount(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto a = make_vec(bits, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.popcount());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits / 8));
+}
+
+void BM_MultiOperandReduce(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<BitVector> vecs;
+  std::vector<const BitVector*> ptrs;
+  for (std::size_t i = 0; i < n; ++i) vecs.push_back(make_vec(1 << 19, i));
+  for (const auto& v : vecs) ptrs.push_back(&v);
+  for (auto _ : state) {
+    auto r = BitVector::reduce(BitOp::kOr, ptrs);
+    benchmark::DoNotOptimize(r.words().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * (1 << 16)));
+}
+
+void BM_ForEachSet(benchmark::State& state) {
+  Rng rng(7);
+  const auto a = BitVector::random(1 << 19, 0.01, rng);
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    a.for_each_set([&](std::size_t i) { sum += i; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+
+BENCHMARK(BM_BitVectorOr)->Arg(1 << 14)->Arg(1 << 19)->Arg(1 << 23);
+BENCHMARK(BM_BitVectorAndNot)->Arg(1 << 14)->Arg(1 << 19);
+BENCHMARK(BM_BitVectorPopcount)->Arg(1 << 14)->Arg(1 << 19);
+BENCHMARK(BM_MultiOperandReduce)->Arg(2)->Arg(16)->Arg(128);
+BENCHMARK(BM_ForEachSet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

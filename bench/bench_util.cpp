@@ -1,0 +1,79 @@
+#include "bench_util.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "sim/simd_backend.hpp"
+
+namespace pinatubo::bench {
+
+SuiteRun run_suite(sim::Backend& backend,
+                   const std::vector<apps::NamedTrace>& workloads) {
+  SuiteRun run;
+  run.backend = backend.name();
+  run.results.reserve(workloads.size());
+  for (const auto& w : workloads) run.results.push_back(backend.execute(w.trace));
+  return run;
+}
+
+Baselines run_baselines(const std::vector<apps::NamedTrace>& workloads) {
+  sim::SimdBackend dram(sim::MemKind::kDram);
+  sim::SimdBackend pcm(sim::MemKind::kPcm);
+  return {run_suite(dram, workloads), run_suite(pcm, workloads)};
+}
+
+RatioMatrix build_matrix(const std::vector<apps::NamedTrace>& workloads,
+                         const Baselines& baselines,
+                         const std::vector<SuiteRun>& backends,
+                         const std::vector<bool>& vs_dram,
+                         const Metric& metric) {
+  PIN_CHECK(backends.size() == vs_dram.size());
+  RatioMatrix m;
+  for (const auto& w : workloads) m.workload_names.push_back(w.name);
+  for (std::size_t b = 0; b < backends.size(); ++b) {
+    m.backend_names.push_back(backends[b].backend);
+    const auto& base = vs_dram[b] ? baselines.simd_dram : baselines.simd_pcm;
+    std::vector<double> col;
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      const double ref = metric(base.results[w]);
+      const double val = metric(backends[b].results[w]);
+      PIN_CHECK_MSG(val > 0, backends[b].backend << " on " << workloads[w].name);
+      col.push_back(ref / val);
+    }
+    m.gmean.push_back(geomean(col));
+    // Transpose into [workload][backend].
+    if (m.ratios.empty()) m.ratios.resize(workloads.size());
+    for (std::size_t w = 0; w < workloads.size(); ++w)
+      m.ratios[w].push_back(col[w]);
+  }
+  return m;
+}
+
+Table matrix_table(const std::string& title, const RatioMatrix& m,
+                   const std::vector<apps::NamedTrace>& workloads) {
+  Table t(title);
+  std::vector<std::string> header{"group", "workload"};
+  for (const auto& b : m.backend_names) header.push_back(b);
+  t.set_header(header);
+  for (std::size_t w = 0; w < m.workload_names.size(); ++w) {
+    std::vector<std::string> row{workloads[w].group, m.workload_names[w]};
+    for (const double r : m.ratios[w]) row.push_back(Table::mult(r));
+    t.add_row(row);
+  }
+  t.add_separator();
+  std::vector<std::string> grow{"", "Gmean"};
+  for (const double g : m.gmean) grow.push_back(Table::mult(g));
+  t.add_row(grow);
+  return t;
+}
+
+double parse_scale(int argc, char** argv, double def) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0)
+      return std::strtod(argv[i] + 8, nullptr);
+  }
+  return def;
+}
+
+}  // namespace pinatubo::bench

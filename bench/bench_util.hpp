@@ -1,0 +1,61 @@
+// Shared plumbing for the figure-reproduction benches: runs the backend
+// matrix over the paper's workload suite and renders Fig. 10/11-style
+// tables (one row per workload, one column per architecture, Gmean last).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/workloads.hpp"
+#include "common/table.hpp"
+#include "sim/backend.hpp"
+
+namespace pinatubo::bench {
+
+/// One backend's results over the whole workload suite.
+struct SuiteRun {
+  std::string backend;
+  std::vector<sim::BackendResult> results;  // aligned with the workloads
+};
+
+/// Runs `backend` over every workload.
+SuiteRun run_suite(sim::Backend& backend,
+                   const std::vector<apps::NamedTrace>& workloads);
+
+/// What Fig. 10/11 normalize against: S-DRAM compares to SIMD on DRAM,
+/// the PCM-resident architectures to SIMD on PCM.
+struct Baselines {
+  SuiteRun simd_dram;
+  SuiteRun simd_pcm;
+};
+
+Baselines run_baselines(const std::vector<apps::NamedTrace>& workloads);
+
+/// Ratio table (speedup or energy saving), paper layout: rows = workloads
+/// plus Gmean, columns = architectures.
+struct RatioMatrix {
+  std::vector<std::string> workload_names;
+  std::vector<std::string> backend_names;
+  std::vector<std::vector<double>> ratios;  // [workload][backend]
+  std::vector<double> gmean;                // per backend
+};
+
+using Metric = std::function<double(const sim::BackendResult&)>;
+
+/// ratios[w][b] = metric(baseline for b) / metric(backend b) on workload w.
+RatioMatrix build_matrix(const std::vector<apps::NamedTrace>& workloads,
+                         const Baselines& baselines,
+                         const std::vector<SuiteRun>& backends,
+                         const std::vector<bool>& vs_dram,
+                         const Metric& metric);
+
+/// Renders the matrix as a table (rows: workloads + Gmean).
+Table matrix_table(const std::string& title, const RatioMatrix& m,
+                   const std::vector<apps::NamedTrace>& workloads);
+
+/// Parses a leading "--scale=<f>" style arg list into a workload scale.
+double parse_scale(int argc, char** argv, double def = 1.0);
+
+}  // namespace pinatubo::bench

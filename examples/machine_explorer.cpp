@@ -1,0 +1,101 @@
+// Machine explorer: load a machine description (config file + key=value
+// overrides), print the derived organization, area, sensing limits, and a
+// few representative op costs.
+//
+// Build & run:  ./examples/machine_explorer [configs/default.cfg] [k=v ...]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "circuit/margin.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "nvm/area_model.hpp"
+#include "pinatubo/backend.hpp"
+
+using namespace pinatubo;
+
+int main(int argc, char** argv) {
+  Config cfg;
+  std::vector<std::string> overrides;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.find('=') != std::string::npos) {
+      overrides.push_back(arg);
+    } else {
+      std::ifstream f(arg);
+      if (!f) {
+        std::fprintf(stderr, "cannot open config %s\n", arg.c_str());
+        return 1;
+      }
+      std::ostringstream ss;
+      ss << f.rdbuf();
+      cfg.merge(Config::from_string(ss.str()));
+    }
+  }
+  cfg.merge(Config::from_args(overrides));
+
+  const auto geo = mem::geometry_from_config(cfg);
+  const auto tech = nvm::tech_from_string(cfg.get_or("tech", "pcm"));
+  const auto max_rows =
+      static_cast<unsigned>(cfg.get_u64("max_rows", 128));
+
+  Table t("Machine");
+  t.set_header({"property", "value"});
+  t.add_row({"technology", nvm::to_string(tech)});
+  t.add_row({"organization",
+             std::to_string(geo.channels) + " ch x " +
+                 std::to_string(geo.ranks_per_channel) + " rk x " +
+                 std::to_string(geo.chips_per_rank) + " chips x " +
+                 std::to_string(geo.banks_per_chip) + " banks x " +
+                 std::to_string(geo.subarrays_per_bank) + " subarrays x " +
+                 std::to_string(geo.rows_per_subarray) + " rows"});
+  t.add_row({"capacity", units::format_bytes(geo.total_bytes())});
+  t.add_row({"row group (turning point B)",
+             std::to_string(geo.row_group_bits()) + " bits"});
+  t.add_row({"sense step (turning point A)",
+             std::to_string(geo.sense_step_bits()) + " bits"});
+  t.add_row({"derived max OR rows",
+             std::to_string(circuit::derived_max_or_rows(tech))});
+  t.print();
+  std::printf("\n");
+
+  nvm::ChipStructure chip;
+  chip.banks = geo.banks_per_chip;
+  chip.subarrays_per_bank = geo.subarrays_per_bank;
+  chip.mats_per_subarray = geo.mats_per_subarray;
+  chip.rows_per_subarray = geo.rows_per_subarray;
+  chip.row_slice_bits = geo.row_slice_bits;
+  chip.sa_mux_share = geo.sa_mux_share;
+  chip.cells = static_cast<std::uint64_t>(geo.banks_per_chip) *
+               geo.subarrays_per_bank * geo.rows_per_subarray *
+               geo.row_slice_bits;
+  const nvm::AreaModel area(nvm::cell_params(tech), chip);
+  std::printf("chip area %.2f mm^2; Pinatubo overhead %.3f%%, AC-PIM %.3f%%\n\n",
+              area.baseline().total_um2() / 1e6,
+              area.pinatubo_overhead().total_percent(),
+              area.acpim_overhead().total_percent());
+
+  core::PinatuboBackend pin(geo, {tech, max_rows});
+  Table ops("Representative op costs");
+  ops.set_header({"op", "time", "energy", "equiv GBps"});
+  struct Case {
+    const char* name;
+    unsigned n;
+    std::uint64_t bits;
+  };
+  for (const Case& c : {Case{"2-row OR, one stripe", 2, 1ull << 14},
+                        Case{"2-row OR, full row", 2, 1ull << 19},
+                        Case{"max-row OR, full row", max_rows, 1ull << 19}}) {
+    const unsigned n = std::min(c.n, circuit::derived_max_or_rows(tech));
+    std::vector<std::uint64_t> ids;
+    for (unsigned k = 0; k < n; ++k) ids.push_back(k);
+    const auto cost = pin.op_cost(BitOp::kOr, ids, n - 1, c.bits, false, 0.5);
+    ops.add_row({c.name, units::format_time(cost.time_ns),
+                 units::format_energy(cost.energy.total_pj()),
+                 Table::num(n * (c.bits / 8.0) / cost.time_ns, 4)});
+  }
+  ops.print();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Trace runner: record a workload once, price it on every architecture.
+//
+//   ./examples/trace_runner --demo              # write a demo trace file
+//   ./examples/trace_runner <trace-file>        # price it on all backends
+//
+// Trace files use the line format of src/sim/trace_io.hpp, so they can be
+// produced by any tool (or by hand) and shared between machines.
+#include <cstdio>
+#include <cstring>
+
+#include "apps/vector_workload.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "pinatubo/backend.hpp"
+#include "sim/acpim_backend.hpp"
+#include "sim/sdram_backend.hpp"
+#include "sim/simd_backend.hpp"
+#include "sim/trace_io.hpp"
+
+using namespace pinatubo;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s (--demo | <trace-file>)\n", argv[0]);
+    return 1;
+  }
+  if (std::strcmp(argv[1], "--demo") == 0) {
+    const auto trace =
+        apps::vector_trace(apps::VectorSpec::parse("14-10-5s"));
+    sim::save_trace_file(trace, "demo.trace");
+    std::printf("wrote demo.trace (%zu ops); run:\n  %s demo.trace\n",
+                trace.op_count(), argv[0]);
+    return 0;
+  }
+
+  const auto trace = sim::load_trace_file(argv[1]);
+  std::printf("trace '%s': %zu ops, %s of operand data\n\n",
+              trace.name.c_str(), trace.op_count(),
+              units::format_bytes(trace.total_src_bits() / 8).c_str());
+
+  sim::SimdBackend simd_dram(sim::MemKind::kDram);
+  sim::SimdBackend simd_pcm(sim::MemKind::kPcm);
+  sim::SdramBackend sdram;
+  sim::AcPimBackend acpim;
+  core::PinatuboBackend pin2({}, {nvm::Tech::kPcm, 2});
+  core::PinatuboBackend pin128({}, {nvm::Tech::kPcm, 128});
+
+  Table t("Trace cost across architectures");
+  t.set_header({"backend", "bitwise time", "bitwise energy", "total time"});
+  for (sim::Backend* b :
+       std::initializer_list<sim::Backend*>{&simd_dram, &simd_pcm, &sdram,
+                                            &acpim, &pin2, &pin128}) {
+    const auto r = b->execute(trace);
+    t.add_row({b->name(), units::format_time(r.bitwise.time_ns),
+               units::format_energy(r.bitwise.energy.total_pj()),
+               units::format_time(r.total_time_ns())});
+  }
+  t.print();
+  return 0;
+}

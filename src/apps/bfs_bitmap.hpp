@@ -1,0 +1,54 @@
+// Bitmap-based BFS (the paper's Graph application, after Beamer's
+// direction-optimizing BFS [5]).
+//
+// State lives in n-bit bitmaps: `visited`, `frontier`, `next`, plus P
+// partial next-frontier bitmaps (one per edge partition, built by the
+// scalar expansion phase).  Each level then runs bulk bitwise ops:
+//
+//   merged  = OR(all dirty partials)          (the multi-row OR showcase)
+//   next    = INV(visited)
+//   next    = next AND merged                 (host reads the result to
+//                                              drive the next level)
+//   visited = visited OR next
+//
+// The bitmap ids are laid out so the whole working set (P partials +
+// visited + frontier + next = 128 bitmaps) fills exactly one allocation
+// window — a PIM-aware OS would do the same — making every op
+// intra-subarray eligible.
+//
+// The run is executed functionally (host bit-vectors) while emitting the
+// OpTrace the backends price; scalar expansion/scan work is aggregated
+// into the trace's scalar_ops/scalar_bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/graph.hpp"
+#include "sim/backend.hpp"
+
+namespace pinatubo::apps {
+
+struct BfsConfig {
+  unsigned partitions = 125;  ///< 125 partials + 3 state bitmaps = 128 rows
+  std::uint32_t source = 0;
+  /// Scalar cost knobs (instructions per traversed edge / per scanned
+  /// word), calibrated against the Sniper-class CPU model.
+  double ops_per_edge = 5.0;
+  double ops_per_scan_word = 2.0;
+  /// Per-level unvisited-vertex probing (the paper's "searching for an
+  /// unvisited bit-vector"); instructions per still-unvisited vertex.
+  double probe_ops_per_unvisited = 10.0;
+};
+
+struct BfsResult {
+  std::vector<std::uint32_t> level_of;  ///< UINT32_MAX if unreachable
+  std::size_t levels = 0;
+  std::uint64_t reached = 0;
+  std::uint64_t edges_traversed = 0;
+  sim::OpTrace trace;
+};
+
+BfsResult bitmap_bfs(const Graph& g, const BfsConfig& cfg = {});
+
+}  // namespace pinatubo::apps

@@ -1,0 +1,180 @@
+#include "apps/bitmap_index.hpp"
+
+#include "common/error.hpp"
+
+namespace pinatubo::apps {
+
+BitmapIndex::BitmapIndex(const IndexConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg) {
+  PIN_CHECK(cfg.rows > 0);
+  PIN_CHECK(cfg.attributes >= 1);
+  PIN_CHECK(cfg.bins >= 2 && cfg.bins <= 256);
+  Rng rng(seed);
+  ZipfSampler zipf(cfg.bins, cfg.zipf_theta);
+
+  values_.resize(cfg.rows * cfg.attributes);
+  bitmaps_.assign(static_cast<std::size_t>(cfg.attributes) * cfg.bins,
+                  BitVector(cfg.rows));
+  std::vector<unsigned> prev(cfg.attributes, 0);
+  for (unsigned a = 0; a < cfg.attributes; ++a)
+    prev[a] = static_cast<unsigned>(zipf.sample(rng));
+  for (std::uint64_t r = 0; r < cfg.rows; ++r) {
+    for (unsigned a = 0; a < cfg.attributes; ++a) {
+      // Markov persistence: consecutive events share run conditions.
+      const unsigned bin = rng.chance(cfg.locality)
+                               ? prev[a]
+                               : static_cast<unsigned>(zipf.sample(rng));
+      prev[a] = bin;
+      values_[r * cfg.attributes + a] = static_cast<std::uint8_t>(bin);
+      bitmaps_[a * cfg.bins + bin].set(r);
+    }
+  }
+}
+
+const BitVector& BitmapIndex::bin_bitmap(unsigned attr, unsigned bin) const {
+  PIN_CHECK(attr < cfg_.attributes && bin < cfg_.bins);
+  return bitmaps_[attr * cfg_.bins + bin];
+}
+
+std::uint64_t BitmapIndex::bitmap_id(unsigned attr, unsigned bin) const {
+  PIN_CHECK(attr < cfg_.attributes && bin < cfg_.bins);
+  const std::uint64_t block = 2ull * cfg_.bins + cfg_.scratch_per_pair;
+  return (attr / 2) * block + (attr % 2) * cfg_.bins + bin;
+}
+
+std::uint64_t BitmapIndex::scratch_id(unsigned attr, unsigned k) const {
+  PIN_CHECK(attr < cfg_.attributes && k < cfg_.scratch_per_pair);
+  const std::uint64_t block = 2ull * cfg_.bins + cfg_.scratch_per_pair;
+  return (attr / 2) * block + 2ull * cfg_.bins + k;
+}
+
+unsigned BitmapIndex::value(std::uint64_t row, unsigned attr) const {
+  PIN_CHECK(row < cfg_.rows && attr < cfg_.attributes);
+  return values_[row * cfg_.attributes + attr];
+}
+
+std::vector<Query> generate_queries(const IndexConfig& cfg, std::size_t count,
+                                    std::uint64_t seed) {
+  Rng rng(seed ^ 0x5bd1e995u);
+  std::vector<Query> qs;
+  qs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Query q;
+    const auto preds = 2 + rng.uniform_u64(3);  // 2..4 predicates
+    std::vector<bool> used(cfg.attributes, false);
+    for (std::uint64_t p = 0; p < preds; ++p) {
+      Predicate pr;
+      do {
+        pr.attr = static_cast<unsigned>(rng.uniform_u64(cfg.attributes));
+      } while (used[pr.attr]);
+      used[pr.attr] = true;
+      const auto width = 1 + rng.uniform_u64(7);  // 1..7 adjacent bins
+      pr.lo_bin = static_cast<unsigned>(
+          rng.uniform_u64(cfg.bins - std::min<std::uint64_t>(width, cfg.bins) + 1));
+      pr.hi_bin = static_cast<unsigned>(
+          std::min<std::uint64_t>(pr.lo_bin + width - 1, cfg.bins - 1));
+      pr.negate = rng.chance(0.1);
+      q.preds.push_back(pr);
+    }
+    qs.push_back(std::move(q));
+  }
+  return qs;
+}
+
+std::uint64_t count_matches_reference(const BitmapIndex& index,
+                                      const Query& q) {
+  const auto& cfg = index.config();
+  std::uint64_t count = 0;
+  for (std::uint64_t r = 0; r < cfg.rows; ++r) {
+    bool ok = true;
+    for (const auto& p : q.preds) {
+      const unsigned v = index.value(r, p.attr);
+      const bool in = v >= p.lo_bin && v <= p.hi_bin;
+      if (in == p.negate) {
+        ok = false;
+        break;
+      }
+    }
+    count += ok;
+  }
+  return count;
+}
+
+QueryBatchResult run_queries(const BitmapIndex& index,
+                             const std::vector<Query>& queries) {
+  const auto& cfg = index.config();
+  PIN_CHECK(cfg.scratch_per_pair >= 2);
+  QueryBatchResult res;
+  res.trace.name = "fastbit";
+  const std::uint64_t n = cfg.rows;
+  double density_sum = 0.0;
+  std::size_t density_n = 0;
+
+  for (const auto& q : queries) {
+    PIN_CHECK_MSG(q.preds.size() >= 2, "queries must have >= 2 predicates");
+    // Evaluate each predicate into a scratch slot of its own attribute
+    // pair's block (so bin-range ORs stay intra-subarray).
+    std::vector<BitVector> pred_vals;
+    std::vector<std::uint64_t> pred_ids;
+    std::vector<unsigned> pair_use(cfg.attributes / 2 + 1, 0);
+    for (std::size_t pi = 0; pi < q.preds.size(); ++pi) {
+      const auto& p = q.preds[pi];
+      PIN_CHECK(p.lo_bin <= p.hi_bin && p.hi_bin < cfg.bins);
+      const auto slot = index.scratch_id(p.attr, pair_use[p.attr / 2]++);
+      BitVector v = index.bin_bitmap(p.attr, p.lo_bin);
+      std::uint64_t vid = index.bitmap_id(p.attr, p.lo_bin);
+      if (p.hi_bin > p.lo_bin) {
+        sim::TraceOp op;
+        op.op = BitOp::kOr;
+        op.bits = n;
+        for (unsigned b = p.lo_bin; b <= p.hi_bin; ++b) {
+          op.srcs.push_back(index.bitmap_id(p.attr, b));
+          if (b > p.lo_bin) v |= index.bin_bitmap(p.attr, b);
+        }
+        op.dst = slot;
+        res.trace.ops.push_back(op);
+        vid = slot;
+      }
+      if (p.negate) {
+        res.trace.ops.push_back({BitOp::kInv, {vid}, slot, n, false});
+        v.invert();
+        vid = slot;
+      }
+      pred_vals.push_back(std::move(v));
+      pred_ids.push_back(vid);
+      density_sum += static_cast<double>(pred_vals.back().popcount()) / n;
+      ++density_n;
+      // FastBit candidate check: rows in the predicate's EDGE bins must be
+      // verified against the raw values (bin boundaries are coarser than
+      // the query's), a random-access scan over the event table.
+      std::uint64_t candidates = index.bin_bitmap(p.attr, p.lo_bin).popcount();
+      if (p.hi_bin > p.lo_bin)
+        candidates += index.bin_bitmap(p.attr, p.hi_bin).popcount();
+      res.trace.scalar_ops += 24 * candidates;
+      res.trace.scalar_bytes += 32 * candidates;
+    }
+    // AND-combine in place into the first predicate's scratch block;
+    // operands from other attribute pairs arrive via the buffer path.
+    BitVector acc = pred_vals[0];
+    std::uint64_t acc_id = pred_ids[0];
+    const auto out = index.scratch_id(q.preds[0].attr,
+                                      pair_use[q.preds[0].attr / 2]++);
+    for (std::size_t pi = 1; pi < pred_vals.size(); ++pi) {
+      res.trace.ops.push_back(
+          {BitOp::kAnd, {acc_id, pred_ids[pi]}, out, n, false});
+      acc &= pred_vals[pi];
+      acc_id = out;
+    }
+    const std::uint64_t count = acc.popcount();
+    res.counts.push_back(count);
+    // Scalar side: query planning, the COUNT scan over the result bitmap
+    // (identical work in every backend), and result-row iteration.
+    res.trace.scalar_ops += 400 + n / 32 + 2 * count;
+    res.trace.scalar_bytes += 256 + n / 8 + 8 * count;
+  }
+  res.trace.result_density =
+      density_n > 0 ? std::max(0.01, density_sum / density_n) : 0.5;
+  return res;
+}
+
+}  // namespace pinatubo::apps

@@ -1,0 +1,91 @@
+// FastBit-style bitmap-index engine (the paper's Database application).
+//
+// A synthetic high-energy-physics-like event table stands in for the STAR
+// data the paper queries: `rows` events with `attributes` columns, values
+// Zipf-distributed over `bins` equality-encoded bins — one bitmap of
+// `rows` bits per (attribute, bin), exactly FastBit's basic index.
+//
+// Queries are conjunctions of range predicates with optional negation:
+//   bin-range OR   -> multi-row OR over adjacent bin bitmaps,
+//   negation       -> INV,
+//   conjunction    -> AND chain,
+//   COUNT/fetch    -> host reads the final bitmap.
+//
+// Id layout (PIM-aware OS mapping): attributes are paired into blocks of
+// 2*bins bin bitmaps plus `scratch_per_pair` scratch bitmaps, sized so one
+// block exactly fills one subarray's rows.  Predicate results land in the
+// scratch rows of their own attribute's block, keeping bin-range ORs
+// intra-subarray; cross-attribute ANDs run at the global row buffers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitvec/bitvector.hpp"
+#include "common/random.hpp"
+#include "sim/backend.hpp"
+
+namespace pinatubo::apps {
+
+struct IndexConfig {
+  /// Events in the table; 2^22 matches the STAR workload's scale (bitmaps
+  /// of 512 KiB that defeat CPU caches, eight 2^19-bit row groups each).
+  std::uint64_t rows = 1ull << 22;
+  unsigned attributes = 8;
+  unsigned bins = 14;
+  unsigned scratch_per_pair = 4;  ///< 2*14 bins + 4 scratch per block
+  double zipf_theta = 0.7;
+  /// Row-order value persistence (events cluster by run/time): the
+  /// probability a row repeats the previous row's bin.  Drives the WAH
+  /// compressibility real FastBit data exhibits.
+  double locality = 0.9;
+};
+
+class BitmapIndex {
+ public:
+  BitmapIndex(const IndexConfig& cfg, std::uint64_t seed);
+
+  const IndexConfig& config() const { return cfg_; }
+  const BitVector& bin_bitmap(unsigned attr, unsigned bin) const;
+  std::uint64_t bitmap_id(unsigned attr, unsigned bin) const;
+  /// Scratch slot `k` of the attribute-pair block containing `attr`.
+  std::uint64_t scratch_id(unsigned attr, unsigned k) const;
+  /// The raw attribute value of a row (tests cross-check the bitmaps).
+  unsigned value(std::uint64_t row, unsigned attr) const;
+
+ private:
+  IndexConfig cfg_;
+  std::vector<BitVector> bitmaps_;           // attr-major
+  std::vector<std::uint8_t> values_;         // row-major
+};
+
+/// One range predicate: attr value in [lo_bin, hi_bin], maybe negated.
+struct Predicate {
+  unsigned attr = 0;
+  unsigned lo_bin = 0;
+  unsigned hi_bin = 0;
+  bool negate = false;
+};
+
+/// A conjunctive query (always >= 2 predicates, as the generator emits).
+struct Query {
+  std::vector<Predicate> preds;
+};
+
+std::vector<Query> generate_queries(const IndexConfig& cfg, std::size_t count,
+                                    std::uint64_t seed);
+
+struct QueryBatchResult {
+  sim::OpTrace trace;
+  std::vector<std::uint64_t> counts;  ///< per-query matching-row counts
+};
+
+/// Runs a query batch functionally while emitting the op trace.
+QueryBatchResult run_queries(const BitmapIndex& index,
+                             const std::vector<Query>& queries);
+
+/// Reference evaluation straight off the raw values (test oracle).
+std::uint64_t count_matches_reference(const BitmapIndex& index,
+                                      const Query& q);
+
+}  // namespace pinatubo::apps

@@ -1,0 +1,104 @@
+#include "apps/graph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pinatubo::apps {
+
+Graph::Graph(std::uint32_t nodes,
+             std::vector<std::pair<std::uint32_t, std::uint32_t>> edges) {
+  PIN_CHECK(nodes > 0);
+  // Symmetrize, sort, deduplicate, drop self loops.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sym;
+  sym.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    PIN_CHECK_MSG(u < nodes && v < nodes, "edge endpoint out of range");
+    if (u == v) continue;
+    sym.emplace_back(u, v);
+    sym.emplace_back(v, u);
+  }
+  std::sort(sym.begin(), sym.end());
+  sym.erase(std::unique(sym.begin(), sym.end()), sym.end());
+
+  offsets_.assign(nodes + 1, 0);
+  targets_.reserve(sym.size());
+  std::uint32_t cur = 0;
+  for (const auto& [u, v] : sym) {
+    while (cur < u) offsets_[++cur] = targets_.size();
+    targets_.push_back(v);
+  }
+  while (cur < nodes) offsets_[++cur] = targets_.size();
+}
+
+std::pair<const std::uint32_t*, const std::uint32_t*> Graph::neighbors(
+    std::uint32_t v) const {
+  PIN_CHECK(v < nodes());
+  return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+}
+
+std::uint32_t Graph::degree(std::uint32_t v) const {
+  PIN_CHECK(v < nodes());
+  return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+}
+
+Graph generate_graph(const GraphGenParams& p, Rng& rng) {
+  PIN_CHECK(p.nodes >= 2);
+  PIN_CHECK(p.communities >= 1 && p.communities <= p.nodes / 2);
+  PIN_CHECK(p.avg_degree > 0);
+  const std::uint32_t per_comm = p.nodes / p.communities;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  const auto intra_edges =
+      static_cast<std::uint64_t>(p.avg_degree * per_comm / 2.0);
+  // Skewed endpoint sampler within a community (hubs exist in all the
+  // stand-in datasets).
+  ZipfSampler zipf(per_comm, p.skew);
+  for (std::uint32_t c = 0; c < p.communities; ++c) {
+    const std::uint32_t base = c * per_comm;
+    const std::uint32_t size =
+        c + 1 == p.communities ? p.nodes - base : per_comm;
+    for (std::uint64_t e = 0; e < intra_edges; ++e) {
+      auto u = static_cast<std::uint32_t>(zipf.sample(rng) % size);
+      auto v = static_cast<std::uint32_t>(rng.uniform_u64(size));
+      edges.emplace_back(base + u, base + v);
+    }
+    // A Hamiltonian-ish path keeps every community connected.
+    for (std::uint32_t i = 1; i < size; ++i)
+      if (rng.chance(0.35)) edges.emplace_back(base + i - 1, base + i);
+    // Bridges to the next community: thin frontiers between communities.
+    if (c + 1 < p.communities) {
+      const std::uint32_t next = (c + 1) * per_comm;
+      const std::uint32_t next_size =
+          c + 2 == p.communities ? p.nodes - next : per_comm;
+      for (std::uint32_t b = 0; b < p.bridge_edges; ++b)
+        edges.emplace_back(
+            base + static_cast<std::uint32_t>(rng.uniform_u64(size)),
+            next + static_cast<std::uint32_t>(rng.uniform_u64(next_size)));
+    }
+  }
+  // Make node 0 connected to its community core.
+  edges.emplace_back(0, 1);
+  return Graph(p.nodes, std::move(edges));
+}
+
+DatasetPreset dblp2010_like() {
+  // Tight: one dense community cluster, finishes in few fat levels.
+  return {"dblp", {1u << 19, 12.0, 2, 4096, 0.8}, 326186, 1615400, "tight"};
+}
+
+DatasetPreset eswiki2013_like() {
+  // Loose: a long chain of small communities with thin bridges.
+  return {"eswiki", {1u << 19, 9.0, 48, 3, 1.0}, 972933, 23041488, "loose"};
+}
+
+DatasetPreset amazon2008_like() {
+  // Loose: longer chains, lower degree (product co-purchase paths).
+  return {"amazon", {1u << 19, 6.0, 64, 3, 0.7}, 735323, 5158388, "loose"};
+}
+
+Graph build_dataset(const DatasetPreset& preset, std::uint64_t seed) {
+  Rng rng(seed);
+  return generate_graph(preset.gen, rng);
+}
+
+}  // namespace pinatubo::apps

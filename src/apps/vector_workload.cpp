@@ -1,0 +1,73 @@
+#include "apps/vector_workload.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace pinatubo::apps {
+
+VectorSpec VectorSpec::parse(const std::string& text) {
+  VectorSpec s;
+  char mode = 0;
+  const int got = std::sscanf(text.c_str(), "%u-%u-%u%c", &s.len_log,
+                              &s.count_log, &s.rows_log, &mode);
+  PIN_CHECK_MSG(got == 4 && (mode == 's' || mode == 'r'),
+                "bad vector spec: " << text);
+  PIN_CHECK_MSG(s.len_log <= 26 && s.count_log <= 30 && s.rows_log <= 10,
+                "vector spec out of range: " << text);
+  PIN_CHECK_MSG(s.rows_log >= 1 && s.rows_log <= s.count_log,
+                "operand count must be in [2, vector count]: " << text);
+  s.sequential = mode == 's';
+  return s;
+}
+
+std::string VectorSpec::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%u-%u-%u%c", len_log, count_log, rows_log,
+                sequential ? 's' : 'r');
+  return buf;
+}
+
+sim::OpTrace vector_trace(const VectorSpec& spec, std::uint64_t seed) {
+  sim::OpTrace t;
+  t.name = spec.name();
+  Rng rng(seed);
+  const std::uint64_t count = spec.vector_count();
+  const unsigned n = spec.operands();
+  const std::uint64_t ops = count / n;
+  t.ops.reserve(ops);
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    sim::TraceOp op;
+    op.op = BitOp::kOr;
+    op.bits = spec.vector_bits();
+    if (spec.sequential) {
+      for (unsigned k = 0; k < n; ++k) op.srcs.push_back(i * n + k);
+    } else {
+      // Random operand ids; keep them distinct within one op.
+      while (op.srcs.size() < n) {
+        const std::uint64_t id = rng.uniform_u64(count);
+        bool dup = false;
+        for (const auto s : op.srcs) dup |= s == id;
+        if (!dup) op.srcs.push_back(id);
+      }
+    }
+    op.dst = op.srcs.back();  // in-place accumulate
+    t.ops.push_back(std::move(op));
+  }
+  // Pure bitwise workload: negligible scalar wrapper (loop control only).
+  t.scalar_ops = ops * 16;
+  t.scalar_bytes = 0;
+  t.result_density = 0.5;
+  return t;
+}
+
+std::vector<VectorSpec> paper_vector_specs() {
+  return {
+      VectorSpec::parse("19-16-1s"), VectorSpec::parse("19-16-7s"),
+      VectorSpec::parse("14-12-7s"), VectorSpec::parse("14-16-7s"),
+      VectorSpec::parse("14-16-7r"),
+  };
+}
+
+}  // namespace pinatubo::apps

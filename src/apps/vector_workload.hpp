@@ -1,0 +1,36 @@
+// The paper's "Vector" microbenchmark family (Table 1):
+// pure bit-vector OR workloads named `a-b-c(s|r)` meaning
+//   2^a-bit vectors, 2^b of them, 2^c-operand OR ops,
+//   sequential or random operand selection.
+// Fig. 10/11 use 19-16-1s, 19-16-7s, 14-12-7s, 14-16-7s and 14-16-7r.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/backend.hpp"
+
+namespace pinatubo::apps {
+
+struct VectorSpec {
+  unsigned len_log = 19;    ///< vector length 2^a bits
+  unsigned count_log = 16;  ///< number of vectors 2^b
+  unsigned rows_log = 1;    ///< operands per op 2^c
+  bool sequential = true;
+
+  /// Parses "19-16-7s" / "14-16-7r"; throws on malformed specs.
+  static VectorSpec parse(const std::string& text);
+  std::string name() const;
+  std::uint64_t vector_bits() const { return 1ull << len_log; }
+  std::uint64_t vector_count() const { return 1ull << count_log; }
+  unsigned operands() const { return 1u << rows_log; }
+};
+
+/// The op trace: vectors grouped into count/2^c OR ops, destinations
+/// accumulate in place (the last operand), matching the paper's setup.
+sim::OpTrace vector_trace(const VectorSpec& spec, std::uint64_t seed = 7);
+
+/// The five Fig. 10 vector workloads in paper order.
+std::vector<VectorSpec> paper_vector_specs();
+
+}  // namespace pinatubo::apps

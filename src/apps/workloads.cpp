@@ -1,0 +1,54 @@
+#include "apps/workloads.hpp"
+
+#include <cmath>
+
+#include "apps/bfs_bitmap.hpp"
+#include "apps/bitmap_index.hpp"
+#include "apps/graph.hpp"
+#include "apps/vector_workload.hpp"
+#include "common/error.hpp"
+
+namespace pinatubo::apps {
+
+std::vector<NamedTrace> graph_workloads(std::uint64_t seed) {
+  std::vector<NamedTrace> out;
+  for (const auto& preset :
+       {dblp2010_like(), eswiki2013_like(), amazon2008_like()}) {
+    const Graph g = build_dataset(preset, seed);
+    auto res = bitmap_bfs(g);
+    res.trace.name = preset.name;
+    out.push_back({"Graph", preset.name, std::move(res.trace)});
+  }
+  return out;
+}
+
+std::vector<NamedTrace> fastbit_workloads(std::uint64_t seed) {
+  std::vector<NamedTrace> out;
+  const IndexConfig cfg;
+  const BitmapIndex index(cfg, seed);
+  for (const std::size_t n_queries : {240u, 480u, 720u}) {
+    const auto queries = generate_queries(cfg, n_queries, seed + n_queries);
+    auto res = run_queries(index, queries);
+    res.trace.name = std::to_string(n_queries);
+    out.push_back({"Fastbit", std::to_string(n_queries),
+                   std::move(res.trace)});
+  }
+  return out;
+}
+
+std::vector<NamedTrace> paper_workloads(double scale, std::uint64_t seed) {
+  PIN_CHECK(scale > 0.0 && scale <= 1.0);
+  std::vector<NamedTrace> out;
+  for (VectorSpec spec : paper_vector_specs()) {
+    if (scale < 1.0) {
+      const auto drop = static_cast<unsigned>(std::round(-std::log2(scale)));
+      spec.count_log -= std::min(spec.count_log - spec.rows_log, drop);
+    }
+    out.push_back({"Vector", spec.name(), vector_trace(spec, seed)});
+  }
+  for (auto& t : graph_workloads(seed)) out.push_back(std::move(t));
+  for (auto& t : fastbit_workloads(seed)) out.push_back(std::move(t));
+  return out;
+}
+
+}  // namespace pinatubo::apps

@@ -1,0 +1,29 @@
+// The complete Fig. 10/11/12 workload suite (Table 1) in paper order:
+// five Vector specs, three Graph datasets, three Fastbit query-batch
+// sizes.  Traces are generated deterministically and cached per call.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/backend.hpp"
+
+namespace pinatubo::apps {
+
+struct NamedTrace {
+  std::string group;  ///< "Vector" / "Graph" / "Fastbit"
+  std::string name;   ///< bar label in the figures
+  sim::OpTrace trace;
+};
+
+/// The eleven Fig. 10 workloads.  `scale` in (0, 1] shrinks the Vector
+/// workloads' vector counts for quick runs (1.0 = paper size).
+std::vector<NamedTrace> paper_workloads(double scale = 1.0,
+                                        std::uint64_t seed = 17);
+
+/// Graph traces only (Fig. 12 left): dblp, eswiki, amazon.
+std::vector<NamedTrace> graph_workloads(std::uint64_t seed = 17);
+/// Fastbit traces only (Fig. 12 right): 240/480/720-query batches.
+std::vector<NamedTrace> fastbit_workloads(std::uint64_t seed = 17);
+
+}  // namespace pinatubo::apps

@@ -1,0 +1,173 @@
+#include "circuit/csa.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pinatubo::circuit {
+
+SenseTransient CsaModel::sense_transient(double i_cell_a,
+                                         double i_ref_a) const {
+  PIN_CHECK(i_cell_a > 0.0 && i_ref_a > 0.0);
+  TransientCircuit ckt;
+  const auto vdd = ckt.add_rail("VDD", cfg_.vdd_v);
+  const auto gnd = ckt.add_rail("GND", 0.0);
+  // Phase-1 sampling caps: charged by the cell / reference currents.
+  const auto vc = ckt.add_node("Vc", cfg_.cs_f, 0.0);
+  const auto vr = ckt.add_node("Vr", cfg_.cs_f, 0.0);
+  // Phase-2 amplification nodes, precharged to VDD.
+  const auto va = ckt.add_node("Va", cfg_.cl_f, cfg_.vdd_v);
+  const auto vb = ckt.add_node("Vb", cfg_.cl_f, cfg_.vdd_v);
+  // Weak leak keeps every node matrix-connected even with sources off.
+  ckt.add_resistor(vc, gnd, 1e12);
+  ckt.add_resistor(vr, gnd, 1e12);
+  ckt.add_resistor(va, gnd, 1e12);
+  ckt.add_resistor(vb, gnd, 1e12);
+
+  const auto i_sample_c = ckt.add_current_source(gnd, vc, 0.0);
+  const auto i_sample_r = ckt.add_current_source(gnd, vr, 0.0);
+  const auto i_dis_a = ckt.add_current_source(va, gnd, 0.0);
+  const auto i_dis_b = ckt.add_current_source(vb, gnd, 0.0);
+  // Second-stage latch: cross-coupled inverters between Va and Vb, enabled
+  // in phase 3 through switches.
+  const auto la = ckt.add_node("La", cfg_.cl_f, cfg_.vdd_v / 2);
+  const auto lb = ckt.add_node("Lb", cfg_.cl_f, cfg_.vdd_v / 2);
+  ckt.add_inverter(la, lb, vdd, gnd, cfg_.latch_ron_ohm, cfg_.vdd_v / 2);
+  ckt.add_inverter(lb, la, vdd, gnd, cfg_.latch_ron_ohm, cfg_.vdd_v / 2);
+  const auto sw_a = ckt.add_switch(va, la, cfg_.latch_ron_ohm / 4);
+  const auto sw_b = ckt.add_switch(vb, lb, cfg_.latch_ron_ohm / 4);
+
+  const double t1 = cfg_.t_sample_ns;
+  const double t2 = t1 + cfg_.t_amplify_ns;
+  const double t3 = t2 + cfg_.t_latch_ns;
+  // Phase-2 mirror ratio, sized so the REFERENCE side slews ~0.3 V over
+  // the amplification phase regardless of the absolute current level —
+  // the current-ratio normalization that makes the CSA offset tolerant.
+  // The cell side then moves 0.3 V * (I_cell / I_ref), clamped by the
+  // mirror cutoff near ground.
+  const double atten =
+      0.3 * cfg_.cl_f / (cfg_.t_amplify_ns * 1e-9 * i_ref_a);
+
+  SenseTransient out;
+  ckt.bind_waveform(&out.waveform);
+  ckt.run(t3, 0.002, &out.waveform, [&](double t) {
+    if (t < t1) {
+      // Phase 1: sample both currents onto Cs.
+      ckt.set_current(i_sample_c, i_cell_a);
+      ckt.set_current(i_sample_r, i_ref_a);
+      ckt.set_current(i_dis_a, 0.0);
+      ckt.set_current(i_dis_b, 0.0);
+      ckt.set_switch(sw_a, false);
+      ckt.set_switch(sw_b, false);
+    } else if (t < t2) {
+      // Phase 2: the sampling transistors mirror the sampled currents and
+      // discharge the amplification nodes — Va by the cell current, Vb by
+      // the reference.  The mirror cuts off as its drain approaches
+      // ground (triode collapse), clamping the node at ~0 V.
+      ckt.set_current(i_sample_c, 0.0);
+      ckt.set_current(i_sample_r, 0.0);
+      ckt.set_current(i_dis_a,
+                      ckt.voltage(va) > 0.02 ? i_cell_a * atten : 0.0);
+      ckt.set_current(i_dis_b,
+                      ckt.voltage(vb) > 0.02 ? i_ref_a * atten : 0.0);
+    } else {
+      // Phase 3: stop discharging, enable the regenerative latch.
+      ckt.set_current(i_dis_a, 0.0);
+      ckt.set_current(i_dis_b, 0.0);
+      ckt.set_switch(sw_a, true);
+      ckt.set_switch(sw_b, true);
+    }
+  });
+
+  const auto ia = out.waveform.index_of("La");
+  const auto ib = out.waveform.index_of("Lb");
+  const double final_a = out.waveform.final_value(ia);
+  const double final_b = out.waveform.final_value(ib);
+  // Larger cell current -> Va (hence La) lower -> logic 1.
+  out.output = final_a < final_b;
+  out.margin_v = std::fabs(final_b - final_a);
+  // Resolve time: when the latch nodes separated by half a VDD.
+  const auto& times = out.waveform.times();
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double d = std::fabs(out.waveform.samples(ib)[i] -
+                               out.waveform.samples(ia)[i]);
+    if (times[i] > t2 && d > cfg_.vdd_v / 2) {
+      out.resolve_time_ns = times[i];
+      break;
+    }
+  }
+  return out;
+}
+
+bool CsaModel::decide(double i_cell_a, double i_ref_a, Rng* rng) const {
+  PIN_CHECK(i_cell_a > 0.0 && i_ref_a > 0.0);
+  double ref = i_ref_a;
+  if (rng != nullptr)
+    ref *= 1.0 + cfg_.sigma_offset * rng->normal();
+  return sa_decision(i_cell_a, ref);
+}
+
+bool CsaModel::sense_op(BitOp op, const std::vector<bool>& row_bits,
+                        const nvm::CellParams& cell, Rng* rng) const {
+  const nvm::BitlineModel bl(cell);
+  auto current_of = [&](const std::vector<bool>& bits) {
+    return rng != nullptr ? bl.sampled_current_a(bits, *rng)
+                          : bl.nominal_current_a(bits);
+  };
+  switch (op) {
+    case BitOp::kOr:
+    case BitOp::kAnd: {
+      PIN_CHECK(row_bits.size() >= 2);
+      const auto ref = op_reference(cell, op, static_cast<unsigned>(row_bits.size()));
+      return decide(current_of(row_bits), ref.i_ref_a, rng);
+    }
+    case BitOp::kXor: {
+      PIN_CHECK_MSG(row_bits.size() == 2, "XOR is 2-row");
+      const auto ref = read_reference(cell);
+      // Micro-step 1: read operand A onto the Ch capacitor.
+      const bool a = decide(current_of({row_bits[0]}), ref.i_ref_a, rng);
+      // Micro-step 2: read operand B into the latch; the two add-on
+      // transistors output the XOR of Ch and the latch.
+      const bool b = decide(current_of({row_bits[1]}), ref.i_ref_a, rng);
+      return a != b;
+    }
+    case BitOp::kInv: {
+      PIN_CHECK_MSG(row_bits.size() == 1, "INV is 1-row");
+      const auto ref = read_reference(cell);
+      // Differential (complementary) latch output.
+      return !decide(current_of(row_bits), ref.i_ref_a, rng);
+    }
+  }
+  PIN_UNREACHABLE("bad BitOp");
+}
+
+bool CsaModel::supports(BitOp op, unsigned n,
+                        const nvm::CellParams& cell) const {
+  switch (op) {
+    case BitOp::kOr:
+      if (n < 2) return false;
+      break;
+    case BitOp::kAnd:
+    case BitOp::kXor:
+      if (n != 2) return false;
+      break;
+    case BitOp::kInv:
+      return n == 1;
+  }
+  const auto ref = op_reference(cell, op, n);
+  return ref.boundary_ratio() >= cfg_.min_boundary_ratio;
+}
+
+unsigned CsaModel::max_rows(BitOp op, const nvm::CellParams& cell,
+                            unsigned probe_limit) const {
+  unsigned best = 0;
+  for (unsigned n = (op == BitOp::kInv ? 1u : 2u); n <= probe_limit; n *= 2) {
+    if (supports(op, n, cell))
+      best = n;
+    else
+      break;
+  }
+  return best;
+}
+
+}  // namespace pinatubo::circuit

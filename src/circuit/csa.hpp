@@ -1,0 +1,91 @@
+// Modified current sense amplifier (paper Fig. 1 + Fig. 6).
+//
+// Models the offset-tolerant current-sampling SA (Chang et al., JSSC'13)
+// that Pinatubo extends, at two fidelity levels:
+//
+//  * `sense_transient` — full three-phase transient on the TransientCircuit
+//    solver (current sampling, current-ratio amplification, second-stage
+//    latch regeneration).  This is the Fig. 6 "HSPICE validation" stand-in:
+//    it produces waveforms and a resolve time from actual cell currents.
+//
+//  * `decide` — fast behavioural decision (current comparison with an
+//    input-referred offset sample).  The memory-system simulator and the
+//    Monte-Carlo margin analysis use this path; its offset statistics are
+//    what the transient model exhibits at the latch input.
+//
+// Pinatubo extensions modelled here: selectable references (READ / OR-n /
+// AND-2), the Ch capacitor + two-transistor XOR path (two micro-steps), and
+// the INV output taken from the latch's complementary node.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bitvec/bitvector.hpp"
+#include "circuit/reference.hpp"
+#include "circuit/transient.hpp"
+#include "circuit/waveform.hpp"
+#include "common/random.hpp"
+#include "nvm/cell.hpp"
+
+namespace pinatubo::circuit {
+
+/// Electrical configuration of the CSA.
+struct CsaConfig {
+  double vdd_v = 1.0;
+  double cs_f = 20e-15;        ///< sampling caps (phase 1)
+  double cl_f = 10e-15;        ///< amplification node caps (phase 2)
+  double ch_f = 15e-15;        ///< Pinatubo's XOR hold cap
+  double t_sample_ns = 2.0;    ///< phase 1 duration
+  double t_amplify_ns = 3.0;   ///< phase 2 duration
+  double t_latch_ns = 2.0;     ///< phase 3 duration
+  double latch_ron_ohm = 20e3; ///< latch inverter drive
+  double sigma_offset = 0.04;  ///< input-referred relative current offset
+  /// Minimum reliable worst-case current ratio.  With the geometric-mean
+  /// reference this gives each side sqrt(ratio) margin; 1.7 corresponds to
+  /// ~30% per-side margin, ~6 sigma of the 4% offset plus cell variation.
+  double min_boundary_ratio = 1.7;
+};
+
+/// Outcome of one transient sense.
+struct SenseTransient {
+  Waveform waveform;
+  bool output = false;
+  double resolve_time_ns = -1.0;  ///< when the latch nodes separated
+  double margin_v = 0.0;          ///< final |Va - Vb|
+};
+
+class CsaModel {
+ public:
+  explicit CsaModel(const CsaConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Full three-phase transient for a bitline current vs a reference.
+  SenseTransient sense_transient(double i_cell_a, double i_ref_a) const;
+
+  /// Fast behavioural decision with a fresh offset sample from `rng`;
+  /// pass nullptr for the nominal (offset-free) decision.
+  bool decide(double i_cell_a, double i_ref_a, Rng* rng) const;
+
+  /// One intra-subarray sensing of `op` over the stored bits of the open
+  /// rows on a single bitline.  Applies per-cell resistance variation when
+  /// `rng` is provided; XOR runs its two micro-steps (Ch capacitor).
+  /// INV takes exactly one value.  Returns the sensed boolean.
+  bool sense_op(BitOp op, const std::vector<bool>& row_bits,
+                const nvm::CellParams& cell, Rng* rng) const;
+
+  /// Whether this SA can resolve `op` over n rows for the technology
+  /// (boundary current ratio >= min_boundary_ratio).
+  bool supports(BitOp op, unsigned n, const nvm::CellParams& cell) const;
+
+  /// Largest power-of-two row count for which `op` is resolvable.
+  unsigned max_rows(BitOp op, const nvm::CellParams& cell,
+                    unsigned probe_limit = 1024) const;
+
+  const CsaConfig& config() const { return cfg_; }
+
+ private:
+  CsaConfig cfg_;
+};
+
+}  // namespace pinatubo::circuit

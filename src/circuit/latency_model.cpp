@@ -1,0 +1,47 @@
+#include "circuit/latency_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pinatubo::circuit {
+
+LatencyModel::LatencyModel(const nvm::CellParams& cell, const CsaConfig& csa,
+                           const ArrayParasitics& parasitics)
+    : cell_(&cell), csa_(csa), par_(parasitics) {}
+
+DerivedTiming LatencyModel::derive(unsigned rows,
+                                   unsigned cols_per_mat) const {
+  PIN_CHECK(rows >= 2 && cols_per_mat >= 2);
+  DerivedTiming d{};
+
+  // Row decode: a tree of log2(rows) levels plus global address routing.
+  d.t_decode_ns =
+      (std::log2(static_cast<double>(rows)) + 4.0) * par_.decode_ns_per_level;
+
+  // Local wordline: distributed RC across the MAT's columns
+  // (Elmore: ~0.5 * R_total * C_total), driven to settle_taus.
+  const double wl_r = par_.wl_res_per_cell_ohm * cols_per_mat;
+  const double wl_c = par_.wl_cap_per_cell_f * cols_per_mat;
+  d.t_wordline_ns = par_.settle_taus * 0.5 * wl_r * wl_c * 1e9;
+
+  // Bitline: the cell drives C_BL through its own resistance (the cell
+  // dominates the metal); use the geometric-mean state as typical.
+  const double bl_c = par_.bl_cap_per_cell_f * rows;
+  const double r_drive = std::sqrt(cell_->r_low_ohm * cell_->r_high_ohm);
+  d.t_bitline_ns = par_.settle_taus * r_drive * bl_c * 1e9;
+
+  // CSA: the three configured phases (the same constants the transient
+  // model simulates).
+  d.t_sense_ns = csa_.t_sample_ns + csa_.t_amplify_ns + csa_.t_latch_ns;
+
+  d.t_rcd_ns = d.t_decode_ns + d.t_wordline_ns + d.t_bitline_ns +
+               par_.sa_precharge_ns + d.t_sense_ns;
+  d.t_cl_ns = par_.mux_switch_ns +
+              par_.col_settle_fraction * d.t_bitline_ns + d.t_sense_ns;
+  d.t_wr_ns = par_.wd_setup_ns +
+              std::max(cell_->set_pulse_ns, cell_->reset_pulse_ns);
+  return d;
+}
+
+}  // namespace pinatubo::circuit

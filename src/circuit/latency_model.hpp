@@ -1,0 +1,66 @@
+// NVSim-style latency derivation: the timing triplet from device physics.
+//
+// The evaluation quotes tRCD-tCL-tWR = 18.3-8.9-151.1 ns for the 1T1R PCM
+// (from CACTI-3DD).  Rather than only hard-coding those numbers
+// (mem/timing.hpp keeps them as the calibrated reference), this model
+// DERIVES them from structures the repository already defines:
+//
+//   tRCD = row decode + local wordline RC + bitline settling + CSA sense
+//   tCL  = column MUX switch + bitline settling + CSA sense
+//   tWR  = the slower of the SET/RESET pulse widths + write-driver setup
+//
+// with bitline/wordline RC computed from per-cell parasitics and the
+// subarray geometry — which is what makes the subarray-height ablation
+// (bench_ablation_rows) physically meaningful: taller subarrays mean
+// longer bitlines and slower sensing.
+#pragma once
+
+#include "circuit/csa.hpp"
+#include "nvm/technology.hpp"
+
+namespace pinatubo::circuit {
+
+/// Array-level parasitics (65 nm class).
+struct ArrayParasitics {
+  double bl_cap_per_cell_f = 0.18e-15;  ///< drain + wire capacitance
+  double bl_res_per_cell_ohm = 2.0;     ///< metal bitline segment
+  double wl_cap_per_cell_f = 0.25e-15;  ///< access-gate + wire
+  double wl_res_per_cell_ohm = 4.0;     ///< poly/metal strap
+  double decode_ns_per_level = 0.18;    ///< per decoder tree level
+  double mux_switch_ns = 0.8;           ///< column-select turn-on
+  double wd_setup_ns = 1.0;             ///< write-driver data setup
+  double settle_taus = 2.3;             ///< RC settling to ~90%
+  double sa_precharge_ns = 2.8;         ///< reference sampling / equalize
+                                        ///  (first sense of an activation)
+  double col_settle_fraction = 0.25;    ///< later column steps pre-develop
+                                        ///  their bitlines while the MUX is
+                                        ///  elsewhere; only a tail remains
+};
+
+/// Derived latency components (ns).
+struct DerivedTiming {
+  double t_decode_ns;
+  double t_wordline_ns;
+  double t_bitline_ns;
+  double t_sense_ns;  ///< CSA three-phase time
+  double t_rcd_ns;
+  double t_cl_ns;
+  double t_wr_ns;
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(const nvm::CellParams& cell,
+                        const CsaConfig& csa = {},
+                        const ArrayParasitics& parasitics = {});
+
+  /// Derives the triplet for a subarray of `rows` x `cols_per_mat`.
+  DerivedTiming derive(unsigned rows, unsigned cols_per_mat) const;
+
+ private:
+  const nvm::CellParams* cell_;
+  CsaConfig csa_;
+  ArrayParasitics par_;
+};
+
+}  // namespace pinatubo::circuit

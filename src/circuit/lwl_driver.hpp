@@ -1,0 +1,65 @@
+// Modified local-wordline (LWL) driver (paper Fig. 7).
+//
+// Conventional memory activates one row at a time; Pinatubo's multi-row
+// activation issues several row addresses back-to-back and each selected
+// LWL driver must *stay* asserted.  The paper adds two transistors per
+// driver: a feedback device that latches the inverter chain once the row is
+// selected, and a reset device that grounds the driver input when RESET is
+// raised, releasing all latched wordlines.
+//
+// Two fidelity levels again:
+//  * `LwlDriverArray` — behavioural latch array used by the memory-system
+//    simulator (RESET / decode / query).
+//  * `simulate_lwl_transient` — TransientCircuit netlist of a driver bank
+//    (inverter chain + feedback + reset per driver) reproducing the Fig. 7
+//    waveforms: RESET pulse, sequential address decodes, latched WLs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/transient.hpp"
+#include "circuit/waveform.hpp"
+
+namespace pinatubo::circuit {
+
+/// Behavioural model: the latch state of every LWL driver in a subarray.
+class LwlDriverArray {
+ public:
+  explicit LwlDriverArray(std::size_t rows);
+
+  /// RESET signal: releases every latched wordline.
+  void reset();
+  /// One decoded row address: latches that wordline high.
+  void decode(std::size_t row);
+  bool is_active(std::size_t row) const;
+  std::size_t active_count() const { return active_count_; }
+  std::vector<std::size_t> active_rows() const;
+  std::size_t rows() const { return latched_.size(); }
+
+ private:
+  std::vector<bool> latched_;
+  std::size_t active_count_ = 0;
+};
+
+/// One stimulus edge for the transient testbench.
+struct LwlEvent {
+  double t_ns;       ///< when the pulse starts
+  double width_ns;   ///< pulse width
+  int driver;        ///< driver index, or -1 for the shared RESET line
+};
+
+/// Result of the transient run.
+struct LwlTransient {
+  Waveform waveform;                ///< RESET, DEC_i, WL_i traces
+  std::vector<bool> final_states;   ///< WL latched high at end?
+};
+
+/// Simulates `n_drivers` modified LWL drivers under the given stimuli.
+/// `vdd_v` defaults to the 1.5 V the paper's Fig. 7 axis shows.
+LwlTransient simulate_lwl_transient(std::size_t n_drivers,
+                                    std::vector<LwlEvent> events,
+                                    double duration_ns = 5.0,
+                                    double vdd_v = 1.5);
+
+}  // namespace pinatubo::circuit

@@ -1,0 +1,88 @@
+#include <cmath>
+#include "circuit/margin.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "nvm/cell.hpp"
+
+namespace pinatubo::circuit {
+
+std::vector<MarginPoint> margin_sweep(const nvm::CellParams& cell, BitOp op,
+                                      const CsaModel& csa, unsigned limit) {
+  std::vector<MarginPoint> points;
+  for (unsigned n = 2; n <= limit; n *= 2) {
+    MarginPoint p;
+    p.n_rows = n;
+    const bool shape_ok =
+        (op == BitOp::kOr) || ((op == BitOp::kAnd || op == BitOp::kXor) && n == 2);
+    if (!shape_ok) {
+      // Mechanically impossible shapes (e.g. 4-row AND): compute the would-be
+      // ratio for AND anyway so the collapse is visible in plots.
+      if (op == BitOp::kAnd) {
+        const double rho = cell.on_off_ratio();
+        const double dn = n;
+        p.boundary_ratio = dn / (dn - 1.0 + 1.0 / rho);
+        p.side_margin = std::sqrt(p.boundary_ratio);
+      }
+      p.feasible = false;
+      points.push_back(p);
+      continue;
+    }
+    const auto ref = op_reference(cell, op, n);
+    p.boundary_ratio = ref.boundary_ratio();
+    p.side_margin = ref.side_margin();
+    p.feasible = p.boundary_ratio >= csa.config().min_boundary_ratio;
+    points.push_back(p);
+  }
+  return points;
+}
+
+YieldPoint monte_carlo_yield(const nvm::CellParams& cell, BitOp op,
+                             unsigned n_rows, std::size_t trials,
+                             const CsaModel& csa, Rng& rng) {
+  PIN_CHECK(trials > 0);
+  PIN_CHECK(n_rows >= 2);
+  YieldPoint yp;
+  yp.n_rows = n_rows;
+
+  // Adversarial boundary patterns for the op.
+  std::vector<bool> pattern_one(n_rows, false);  // must sense as "1"
+  std::vector<bool> pattern_zero(n_rows, false); // must sense as "0"
+  switch (op) {
+    case BitOp::kOr:
+      pattern_one[0] = true;  // exactly one LRS
+      break;                  // zero side: all HRS
+    case BitOp::kAnd:
+      PIN_CHECK(n_rows == 2);
+      std::fill(pattern_one.begin(), pattern_one.end(), true);
+      pattern_zero[0] = true;  // one LRS, one HRS
+      break;
+    case BitOp::kXor: {
+      PIN_CHECK(n_rows == 2);
+      pattern_one = {true, false};
+      pattern_zero = {true, true};
+      break;
+    }
+    case BitOp::kInv:
+      PIN_UNREACHABLE("INV has no multi-row margin");
+  }
+
+  std::size_t ok_one = 0, ok_zero = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    if (csa.sense_op(op, pattern_one, cell, &rng)) ++ok_one;
+    if (!csa.sense_op(op, pattern_zero, cell, &rng)) ++ok_zero;
+  }
+  const double y1 = static_cast<double>(ok_one) / static_cast<double>(trials);
+  const double y0 = static_cast<double>(ok_zero) / static_cast<double>(trials);
+  yp.yield = (y1 + y0) / 2.0;
+  yp.worst_side = std::min(y1, y0);
+  return yp;
+}
+
+unsigned derived_max_or_rows(nvm::Tech tech, const CsaModel& csa) {
+  const auto& cell = nvm::cell_params(tech);
+  return csa.max_rows(BitOp::kOr, cell);
+}
+
+}  // namespace pinatubo::circuit

@@ -1,0 +1,53 @@
+// Sensing-margin analysis: how many rows can one operation open?
+//
+// The paper asserts (from a PCM TCAM analogy) that PCM/ReRAM support up to
+// 128-row OR while STT-MRAM's low ON/OFF ratio limits it to 2 rows, and
+// that multi-row AND is infeasible beyond 2 rows (footnote 3).  This module
+// derives those limits instead of asserting them:
+//
+//  * analytic worst-case boundary ratios per (technology, op, n), and
+//  * Monte-Carlo yield — sampling per-cell log-normal resistance variation
+//    and SA offset over the adversarial data patterns — giving the bit
+//    error rate at each n.
+#pragma once
+
+#include <vector>
+
+#include "circuit/csa.hpp"
+#include "common/random.hpp"
+#include "nvm/technology.hpp"
+
+namespace pinatubo::circuit {
+
+/// Analytic worst-case numbers for one (op, n) point.
+struct MarginPoint {
+  unsigned n_rows = 0;
+  double boundary_ratio = 0.0;  ///< worst-case I("1") / I("0")
+  double side_margin = 0.0;     ///< sqrt(ratio): per-side with geo-mean ref
+  bool feasible = false;        ///< ratio >= CSA min_boundary_ratio
+};
+
+/// Sweeps n over powers of two in [2, limit]; includes infeasible points so
+/// callers can plot where the margin collapses.
+std::vector<MarginPoint> margin_sweep(const nvm::CellParams& cell, BitOp op,
+                                      const CsaModel& csa,
+                                      unsigned limit = 1024);
+
+/// Monte-Carlo yield for (op, n): fraction of correct sense decisions over
+/// `trials` adversarial boundary patterns with sampled cell variation and
+/// SA offset.
+struct YieldPoint {
+  unsigned n_rows = 0;
+  double yield = 0.0;       ///< correct / trials
+  double worst_side = 0.0;  ///< min(yield of "1"-side, yield of "0"-side)
+};
+
+YieldPoint monte_carlo_yield(const nvm::CellParams& cell, BitOp op,
+                             unsigned n_rows, std::size_t trials,
+                             const CsaModel& csa, Rng& rng);
+
+/// The paper's §4.2 result: maximum multi-row OR per technology.
+/// (PCM: 128, STT-MRAM: 2, ReRAM: 128 with the preset corners.)
+unsigned derived_max_or_rows(nvm::Tech tech, const CsaModel& csa = CsaModel());
+
+}  // namespace pinatubo::circuit

@@ -1,0 +1,73 @@
+#include "circuit/reference.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pinatubo::circuit {
+namespace {
+
+/// Bitline current when `ones` of `n` open cells are in LRS (nominal).
+double boundary_current(const nvm::CellParams& c, std::size_t ones,
+                        std::size_t n) {
+  const double g = static_cast<double>(ones) / c.r_low_ohm +
+                   static_cast<double>(n - ones) / c.r_high_ohm;
+  return c.read_voltage_v * g;
+}
+
+Reference make(double i1, double i0) {
+  PIN_CHECK_MSG(i1 > i0, "degenerate sensing boundary");
+  return Reference{std::sqrt(i1 * i0), i1, i0};
+}
+
+}  // namespace
+
+double Reference::side_margin() const {
+  return std::sqrt(boundary_ratio());
+}
+
+Reference read_reference(const nvm::CellParams& cell) {
+  return make(boundary_current(cell, 1, 1), boundary_current(cell, 0, 1));
+}
+
+Reference op_reference(const nvm::CellParams& cell, BitOp op, unsigned n) {
+  switch (op) {
+    case BitOp::kOr: {
+      PIN_CHECK_MSG(n >= 2, "n-row OR needs n >= 2");
+      // "1" worst case: exactly one LRS cell; "0": all HRS.
+      return make(boundary_current(cell, 1, n), boundary_current(cell, 0, n));
+    }
+    case BitOp::kAnd: {
+      PIN_CHECK_MSG(n == 2, "multi-row AND is not supported (paper fn.3)");
+      // "1": both LRS; "0" worst case: one LRS one HRS.
+      return make(boundary_current(cell, 2, 2), boundary_current(cell, 1, 2));
+    }
+    case BitOp::kXor: {
+      PIN_CHECK_MSG(n == 2, "XOR is a two-micro-step 2-row op");
+      // Each micro-step is a plain read.
+      return read_reference(cell);
+    }
+    case BitOp::kInv:
+      // INV outputs the latch's differential node after a read.
+      return read_reference(cell);
+  }
+  PIN_UNREACHABLE("bad BitOp");
+}
+
+bool expected_result(BitOp op, std::size_t ones, std::size_t n) {
+  PIN_CHECK(ones <= n);
+  switch (op) {
+    case BitOp::kOr:
+      return ones > 0;
+    case BitOp::kAnd:
+      return ones == n;
+    case BitOp::kXor:
+      return (ones % 2) != 0;
+    case BitOp::kInv:
+      PIN_CHECK(n == 1);
+      return ones == 0;
+  }
+  PIN_UNREACHABLE("bad BitOp");
+}
+
+}  // namespace pinatubo::circuit

@@ -1,0 +1,46 @@
+// Sense-amplifier reference placement (paper Fig. 5 / §4.2).
+//
+// The whole Pinatubo intra-subarray trick is choosing the SA reference so
+// that the combined bitline current of n simultaneously open cells resolves
+// to the boolean result:
+//   read  : Rref-read between Rlow and Rhigh;
+//   n-OR  : reference between  Rlow || Rhigh/(n-1)   and  Rhigh/n;
+//   2-AND : reference between  Rlow/2                and  Rlow || Rhigh.
+// We place references at the geometric mean of the boundary currents, which
+// maximizes the worst-case current *ratio* seen by a current-sampling SA.
+#pragma once
+
+#include "bitvec/bitvector.hpp"  // BitOp
+#include "nvm/technology.hpp"
+
+namespace pinatubo::circuit {
+
+/// Result of a reference placement query.
+struct Reference {
+  double i_ref_a;       ///< reference current (A)
+  double i_result1_a;   ///< worst-case boundary current that must read "1"
+  double i_result0_a;   ///< worst-case boundary current that must read "0"
+  /// Worst-case current ratio i_result1 / i_result0 (> 1 when sensible).
+  double boundary_ratio() const { return i_result1_a / i_result0_a; }
+  /// Per-side margin once the reference splits the boundary geometrically.
+  double side_margin() const;
+};
+
+/// Computes the reference for `op` with `n` simultaneously open rows.
+/// Supported: read (op=kInv is *not* a sensing op; use `read_reference`),
+/// kOr with n >= 2, kAnd with n == 2, kXor with n == 2 (sensed as two
+/// sequential reads, so it uses the read reference internally).
+Reference op_reference(const nvm::CellParams& cell, BitOp op, unsigned n);
+
+/// Plain read reference (single open row).
+Reference read_reference(const nvm::CellParams& cell);
+
+/// The boolean a current-mode SA outputs for `i_bl` against a reference.
+inline bool sa_decision(double i_bl_a, double i_ref_a) {
+  return i_bl_a > i_ref_a;
+}
+
+/// Expected boolean result of `op` on `ones` set bits among `n` operands.
+bool expected_result(BitOp op, std::size_t ones, std::size_t n);
+
+}  // namespace pinatubo::circuit

@@ -1,0 +1,54 @@
+// Error handling primitives shared by all Pinatubo libraries.
+//
+// Policy (per C++ Core Guidelines E.2/E.3): programming errors and violated
+// preconditions throw `pinatubo::Error` with a formatted message; recoverable
+// conditions are reported through return values.  The PIN_CHECK family keeps
+// call sites terse while preserving file:line context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pinatubo {
+
+/// Exception type thrown on violated invariants and bad arguments.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace pinatubo
+
+/// Precondition / invariant check; always on (cheap compared to simulation).
+#define PIN_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::pinatubo::detail::throw_error(#cond, __FILE__, __LINE__, "");       \
+  } while (0)
+
+/// Check with a streamed message: PIN_CHECK_MSG(x > 0, "x=" << x).
+#define PIN_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream pin_check_os_;                                     \
+      pin_check_os_ << msg; /* NOLINT */                                    \
+      ::pinatubo::detail::throw_error(#cond, __FILE__, __LINE__,            \
+                                      pin_check_os_.str());                 \
+    }                                                                       \
+  } while (0)
+
+/// Marks unreachable control flow.
+#define PIN_UNREACHABLE(msg)                                                \
+  ::pinatubo::detail::throw_error("unreachable", __FILE__, __LINE__, (msg))

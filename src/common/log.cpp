@@ -1,0 +1,37 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace pinatubo {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& msg) {
+  std::cerr << "[pinatubo:" << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace detail
+}  // namespace pinatubo

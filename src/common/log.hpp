@@ -1,0 +1,34 @@
+// Leveled logging to stderr.  Quiet by default (benches print their own
+// tables); raise the level for simulator tracing during debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pinatubo {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold; messages above it are suppressed.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+}  // namespace pinatubo
+
+#define PIN_LOG(level, msg)                                          \
+  do {                                                               \
+    if (static_cast<int>(level) <=                                   \
+        static_cast<int>(::pinatubo::log_level())) {                 \
+      std::ostringstream pin_log_os_;                                \
+      pin_log_os_ << msg; /* NOLINT */                               \
+      ::pinatubo::detail::log_emit(level, pin_log_os_.str());        \
+    }                                                                \
+  } while (0)
+
+#define PIN_WARN(msg) PIN_LOG(::pinatubo::LogLevel::kWarn, msg)
+#define PIN_INFO(msg) PIN_LOG(::pinatubo::LogLevel::kInfo, msg)
+#define PIN_DEBUG(msg) PIN_LOG(::pinatubo::LogLevel::kDebug, msg)

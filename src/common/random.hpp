@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation for all simulators.
+//
+// A single engine (xoshiro256**) is used everywhere so experiments are
+// reproducible bit-for-bit from a seed, independent of the standard library
+// implementation.  Distribution helpers cover the needs of the models:
+// uniform ints/reals, normal (for device variation), log-normal (resistance
+// spreads), geometric-ish skew, and Zipf (database attribute values).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pinatubo {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm),
+/// re-implemented here; passes BigCrush and is far faster than mt19937_64.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t uniform_u64(std::uint64_t bound);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Uniform real in [0, 1).
+  double uniform();
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+  /// Normal with mean/sigma.
+  double normal(double mean, double sigma);
+  /// Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+  /// Bernoulli trial.
+  bool chance(double p);
+  /// Fork a statistically independent child stream (splitmix on the state).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Zipf-distributed integers in [0, n) with exponent `theta`; O(1) sampling
+/// after O(n) table build.  Used by the bitmap-index workload generator.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double theta);
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace pinatubo

@@ -1,0 +1,185 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pinatubo {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  PIN_CHECK(!row.empty());
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+void Table::add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+std::string Table::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", digits, v);
+  return buf;
+}
+
+std::string Table::mult(double v, int digits) {
+  return num(v, digits) + "x";
+}
+
+std::string Table::to_string() const {
+  // Column widths over header + rows.
+  std::size_t ncol = header_.size();
+  for (const auto& r : rows_) ncol = std::max(ncol, r.size());
+  std::vector<std::size_t> width(ncol, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_)
+    if (!r.empty()) widen(r);
+
+  std::size_t total = 0;
+  for (auto w : width) total += w + 3;
+  std::ostringstream os;
+  auto rule = [&] { os << std::string(total > 1 ? total - 1 : 1, '-') << '\n'; };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      os << c << std::string(width[i] - c.size(), ' ');
+      if (i + 1 < width.size()) os << " | ";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) {
+    os << "== " << title_ << " ==\n";
+  }
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.empty()) {
+      rule();
+    } else {
+      emit(r);
+    }
+  }
+  rule();
+  for (const auto& n : notes_) os << "  note: " << n << '\n';
+  return os.str();
+}
+
+void Table::print() const { std::cout << to_string() << std::flush; }
+
+LogChart::LogChart(std::string title, std::string y_label)
+    : title_(std::move(title)), y_label_(std::move(y_label)) {}
+
+void LogChart::add_series(std::string name, std::vector<double> ys) {
+  series_.push_back({std::move(name), std::move(ys)});
+}
+
+void LogChart::set_x_labels(std::vector<std::string> labels) {
+  x_labels_ = std::move(labels);
+}
+
+void LogChart::add_hline(std::string name, double y) {
+  hlines_.push_back({std::move(name), y});
+}
+
+std::string LogChart::to_string(std::size_t height) const {
+  PIN_CHECK(height >= 4);
+  double lo = 1e300, hi = -1e300;
+  std::size_t npts = x_labels_.size();
+  for (const auto& s : series_) {
+    npts = std::max(npts, s.ys.size());
+    for (double y : s.ys)
+      if (y > 0) {
+        lo = std::min(lo, y);
+        hi = std::max(hi, y);
+      }
+  }
+  for (const auto& h : hlines_)
+    if (h.y > 0) {
+      lo = std::min(lo, h.y);
+      hi = std::max(hi, h.y);
+    }
+  std::ostringstream os;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  if (lo > hi) {
+    os << "(no positive data)\n";
+    return os.str();
+  }
+  double log_lo = std::floor(std::log10(lo));
+  double log_hi = std::ceil(std::log10(hi));
+  if (log_hi <= log_lo) log_hi = log_lo + 1;
+
+  const std::size_t col_w = 6;  // per-point column width
+  const std::size_t label_w = 10;
+  auto row_of = [&](double y) {
+    const double frac = (std::log10(y) - log_lo) / (log_hi - log_lo);
+    auto r = static_cast<std::ptrdiff_t>(frac * static_cast<double>(height - 1) + 0.5);
+    return std::clamp<std::ptrdiff_t>(r, 0, static_cast<std::ptrdiff_t>(height) - 1);
+  };
+
+  // Plot grid: rows from top (high) to bottom (low).
+  std::vector<std::string> grid(height, std::string(npts * col_w, ' '));
+  const char marks[] = {'*', 'o', '+', 'x', '@', '%', '&', '$', '#'};
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    char m = marks[si % sizeof marks];
+    for (std::size_t i = 0; i < series_[si].ys.size(); ++i) {
+      double y = series_[si].ys[i];
+      if (y <= 0) continue;
+      auto r = static_cast<std::size_t>(row_of(y));
+      grid[height - 1 - r][i * col_w + col_w / 2] = m;
+    }
+  }
+  for (const auto& h : hlines_) {
+    if (h.y <= 0) continue;
+    auto r = static_cast<std::size_t>(row_of(h.y));
+    auto& line = grid[height - 1 - r];
+    for (std::size_t c = 0; c < line.size(); ++c)
+      if (line[c] == ' ') line[c] = '.';
+  }
+
+  for (std::size_t r = 0; r < height; ++r) {
+    const double frac =
+        static_cast<double>(height - 1 - r) / static_cast<double>(height - 1);
+    const double log_y = log_lo + frac * (log_hi - log_lo);
+    char lab[32];
+    std::snprintf(lab, sizeof lab, "%9.1e", std::pow(10.0, log_y));
+    os << lab << " |" << grid[r] << '\n';
+  }
+  os << std::string(label_w, ' ') << std::string(npts * col_w, '-') << '\n';
+  // X labels, rotated into columns of col_w.
+  os << std::string(label_w, ' ');
+  for (std::size_t i = 0; i < npts; ++i) {
+    std::string lab = i < x_labels_.size() ? x_labels_[i] : std::to_string(i);
+    if (lab.size() > col_w - 1) lab.resize(col_w - 1);
+    os << lab << std::string(col_w - lab.size(), ' ');
+  }
+  os << '\n';
+  os << "  y: " << y_label_ << "; series:";
+  for (std::size_t si = 0; si < series_.size(); ++si)
+    os << ' ' << marks[si % sizeof marks] << '=' << series_[si].name;
+  for (const auto& h : hlines_) os << "; line .=" << h.name;
+  os << '\n';
+  return os.str();
+}
+
+void LogChart::print(std::size_t height) const {
+  std::cout << to_string(height) << std::flush;
+}
+
+}  // namespace pinatubo

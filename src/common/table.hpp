@@ -1,0 +1,77 @@
+// ASCII rendering of the paper's tables and figures.
+//
+// Every bench binary regenerates one table/figure; these helpers keep the
+// output uniform: `Table` renders aligned columns, `LogChart` renders the
+// log-scale scatter/line figures (Fig. 9-12 in the paper) as text so the
+// series shapes (turning points, orderings) are visible in a terminal.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pinatubo {
+
+/// Column-aligned ASCII table with an optional title and footnotes.
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Sets the header row; call before adding rows.
+  void set_header(std::vector<std::string> header);
+  /// Appends a data row (cells need not match header length exactly).
+  void add_row(std::vector<std::string> row);
+  /// Appends a horizontal separator line.
+  void add_separator();
+  /// Appends a footnote printed under the table.
+  void add_note(std::string note);
+
+  /// Formats a double with `digits` significant digits.
+  static std::string num(double v, int digits = 4);
+  /// Formats as "12.3x" style multiplier.
+  static std::string mult(double v, int digits = 3);
+
+  std::string to_string() const;
+  /// Prints to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+  std::vector<std::string> notes_;
+};
+
+/// Text rendering of a log-Y chart: series of (x, y) with y > 0 drawn on a
+/// log10 grid.  X positions are the sample index (categorical), matching the
+/// paper's figures which use categorical / log2 x-axes.
+class LogChart {
+ public:
+  LogChart(std::string title, std::string y_label);
+
+  /// Adds a named series; `ys` must align with the x labels.
+  void add_series(std::string name, std::vector<double> ys);
+  void set_x_labels(std::vector<std::string> labels);
+  /// Adds a horizontal reference line (e.g. DDR bus bandwidth).
+  void add_hline(std::string name, double y);
+
+  std::string to_string(std::size_t height = 18) const;
+  void print(std::size_t height = 18) const;
+
+ private:
+  std::string title_;
+  std::string y_label_;
+  std::vector<std::string> x_labels_;
+  struct Series {
+    std::string name;
+    std::vector<double> ys;
+  };
+  std::vector<Series> series_;
+  struct HLine {
+    std::string name;
+    double y;
+  };
+  std::vector<HLine> hlines_;
+};
+
+}  // namespace pinatubo

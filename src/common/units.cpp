@@ -1,0 +1,40 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pinatubo::units {
+namespace {
+
+std::string scaled(double v, const char* const* suffixes, int n_suffix,
+                   double step) {
+  int idx = 0;
+  double mag = std::fabs(v);
+  while (idx + 1 < n_suffix && mag >= step) {
+    mag /= step;
+    v /= step;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3g %s", v, suffixes[idx]);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_time(double t_ns) {
+  static const char* const kSuffix[] = {"ns", "us", "ms", "s"};
+  return scaled(t_ns, kSuffix, 4, 1000.0);
+}
+
+std::string format_energy(double e_pj) {
+  static const char* const kSuffix[] = {"pJ", "nJ", "uJ", "mJ", "J"};
+  return scaled(e_pj, kSuffix, 5, 1000.0);
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static const char* const kSuffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  return scaled(static_cast<double>(bytes), kSuffix, 5, 1024.0);
+}
+
+}  // namespace pinatubo::units

@@ -1,0 +1,68 @@
+// Physical unit conventions and helpers.
+//
+// All Pinatubo models agree on one set of base units so quantities can be
+// combined without conversion bugs:
+//   time    : nanoseconds   (double)
+//   energy  : picojoules    (double)
+//   power   : watts         (double)   [1 W == 1e3 pJ/ns]
+//   area    : square micrometres (double)
+//   charge  : femtocoulombs where needed
+//   data    : bits / bytes  (std::uint64_t)
+// Helper constants convert human-friendly magnitudes into base units.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pinatubo::units {
+
+// ---- time (base: ns) -------------------------------------------------------
+inline constexpr double ps = 1e-3;   ///< picosecond in ns
+inline constexpr double ns = 1.0;    ///< nanosecond
+inline constexpr double us = 1e3;    ///< microsecond in ns
+inline constexpr double ms = 1e6;    ///< millisecond in ns
+inline constexpr double s = 1e9;     ///< second in ns
+
+// ---- energy (base: pJ) -----------------------------------------------------
+inline constexpr double fJ = 1e-3;   ///< femtojoule in pJ
+inline constexpr double pJ = 1.0;    ///< picojoule
+inline constexpr double nJ = 1e3;    ///< nanojoule in pJ
+inline constexpr double uJ = 1e6;    ///< microjoule in pJ
+inline constexpr double mJ = 1e9;    ///< millijoule in pJ
+inline constexpr double J = 1e12;    ///< joule in pJ
+
+// ---- area (base: um^2) -----------------------------------------------------
+inline constexpr double um2 = 1.0;       ///< square micrometre
+inline constexpr double mm2 = 1e6;       ///< square millimetre in um^2
+
+// ---- resistance / capacitance / voltage ------------------------------------
+inline constexpr double ohm = 1.0;
+inline constexpr double kohm = 1e3;
+inline constexpr double Mohm = 1e6;
+inline constexpr double fF = 1e-15;      ///< farads (capacitance kept in F)
+inline constexpr double pF = 1e-12;
+inline constexpr double volt = 1.0;
+
+// ---- data ------------------------------------------------------------------
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * 1024;
+inline constexpr std::uint64_t GiB = 1024ull * 1024 * 1024;
+
+/// Energy (pJ) delivered by `watts` over `time_ns`: 1 W * 1 ns = 1000 pJ.
+inline constexpr double power_to_energy_pj(double watts, double time_ns) {
+  return watts * time_ns * 1e3;
+}
+
+/// Bandwidth in GB/s given bytes moved over `time_ns`.
+inline constexpr double gbps(std::uint64_t bytes, double time_ns) {
+  return time_ns <= 0.0 ? 0.0 : static_cast<double>(bytes) / time_ns;
+}
+
+/// Pretty time: picks ns/us/ms/s.
+std::string format_time(double t_ns);
+/// Pretty energy: picks pJ/nJ/uJ/mJ/J.
+std::string format_energy(double e_pj);
+/// Pretty byte count: picks B/KiB/MiB/GiB.
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace pinatubo::units

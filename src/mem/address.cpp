@@ -1,0 +1,55 @@
+#include "mem/address.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pinatubo::mem {
+
+std::string RowAddr::to_string() const {
+  std::ostringstream os;
+  os << "ch" << channel << ".rk" << rank << ".bk" << bank << ".sa" << subarray
+     << ".row" << row;
+  return os.str();
+}
+
+AddressCodec::AddressCodec(const Geometry& g) : geo_(g) {
+  geo_.validate();
+  rows_ = static_cast<std::uint64_t>(geo_.channels) * geo_.ranks_per_channel *
+          geo_.banks_per_chip * geo_.subarrays_per_bank * geo_.rows_per_subarray;
+}
+
+RowAddr AddressCodec::decode(std::uint64_t row_id) const {
+  PIN_CHECK_MSG(row_id < rows_, "row id " << row_id << " >= " << rows_);
+  RowAddr a;
+  a.bank = static_cast<unsigned>(row_id % geo_.banks_per_chip);
+  row_id /= geo_.banks_per_chip;
+  a.subarray = static_cast<unsigned>(row_id % geo_.subarrays_per_bank);
+  row_id /= geo_.subarrays_per_bank;
+  a.row = static_cast<unsigned>(row_id % geo_.rows_per_subarray);
+  row_id /= geo_.rows_per_subarray;
+  a.rank = static_cast<unsigned>(row_id % geo_.ranks_per_channel);
+  row_id /= geo_.ranks_per_channel;
+  a.channel = static_cast<unsigned>(row_id);
+  return a;
+}
+
+std::uint64_t AddressCodec::encode(const RowAddr& a) const {
+  check(a);
+  std::uint64_t id = a.channel;
+  id = id * geo_.ranks_per_channel + a.rank;
+  id = id * geo_.rows_per_subarray + a.row;
+  id = id * geo_.subarrays_per_bank + a.subarray;
+  id = id * geo_.banks_per_chip + a.bank;
+  return id;
+}
+
+void AddressCodec::check(const RowAddr& a) const {
+  PIN_CHECK_MSG(a.channel < geo_.channels, a.to_string());
+  PIN_CHECK_MSG(a.rank < geo_.ranks_per_channel, a.to_string());
+  PIN_CHECK_MSG(a.bank < geo_.banks_per_chip, a.to_string());
+  PIN_CHECK_MSG(a.subarray < geo_.subarrays_per_bank, a.to_string());
+  PIN_CHECK_MSG(a.row < geo_.rows_per_subarray, a.to_string());
+}
+
+}  // namespace pinatubo::mem

@@ -1,0 +1,65 @@
+// Physical row addressing.
+//
+// A `RowAddr` names one rank-row: the (channel, rank, bank, subarray, row)
+// coordinate whose data spans all chips of the rank in lock-step.  The
+// linear encoding orders rows so that consecutive ids walk banks first —
+// the layout the PIM-aware allocator wants, since a maximally parallel
+// 2^19-bit row group is "the same (subarray,row) in every bank".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/geometry.hpp"
+
+namespace pinatubo::mem {
+
+struct RowAddr {
+  unsigned channel = 0;
+  unsigned rank = 0;
+  unsigned bank = 0;
+  unsigned subarray = 0;
+  unsigned row = 0;  ///< within the subarray
+
+  bool operator==(const RowAddr&) const = default;
+
+  /// Same physical subarray (the intra-subarray op requirement).
+  bool same_subarray(const RowAddr& o) const {
+    return channel == o.channel && rank == o.rank && bank == o.bank &&
+           subarray == o.subarray;
+  }
+  /// Same bank (the inter-subarray op requirement).
+  bool same_bank(const RowAddr& o) const {
+    return channel == o.channel && rank == o.rank && bank == o.bank;
+  }
+  /// Same chip set (the inter-bank op requirement).
+  bool same_rank(const RowAddr& o) const {
+    return channel == o.channel && rank == o.rank;
+  }
+
+  std::string to_string() const;
+};
+
+class AddressCodec {
+ public:
+  explicit AddressCodec(const Geometry& g);
+
+  /// Total number of addressable rank-rows.
+  std::uint64_t row_count() const { return rows_; }
+
+  /// Linear id -> coordinates.  Order (fastest varying first):
+  /// bank, subarray, row, rank, channel.
+  RowAddr decode(std::uint64_t row_id) const;
+  std::uint64_t encode(const RowAddr& a) const;
+
+  /// Validates coordinates against the geometry.
+  void check(const RowAddr& a) const;
+
+  const Geometry& geometry() const { return geo_; }
+
+ private:
+  Geometry geo_;
+  std::uint64_t rows_;
+};
+
+}  // namespace pinatubo::mem

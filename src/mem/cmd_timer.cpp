@@ -1,0 +1,67 @@
+#include "mem/cmd_timer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pinatubo::mem {
+
+ChannelTimer::ChannelTimer(unsigned n_banks, const BusParams& bus)
+    : cmd_slot_ns_(bus.cmd_slot_ns), bytes_per_ns_(bus.data_gbps),
+      banks_(n_banks, 0.0) {
+  PIN_CHECK(n_banks >= 1);
+  PIN_CHECK(bus.cmd_slot_ns > 0);
+  PIN_CHECK(bus.data_gbps > 0);
+}
+
+double ChannelTimer::issue(unsigned bank, double occupy_ns) {
+  return issue_after(bank, 0.0, occupy_ns);
+}
+
+double ChannelTimer::issue_after(unsigned bank, double ready_ns,
+                                 double occupy_ns) {
+  PIN_CHECK_MSG(bank < banks_.size(), "bank " << bank);
+  PIN_CHECK(occupy_ns >= 0.0);
+  PIN_CHECK(ready_ns >= 0.0);
+  const double start = std::max({cmd_free_, banks_[bank], ready_ns});
+  cmd_free_ = start + cmd_slot_ns_;
+  banks_[bank] = start + std::max(occupy_ns, cmd_slot_ns_);
+  return banks_[bank];
+}
+
+double ChannelTimer::issue_all_banks(double occupy_ns) {
+  PIN_CHECK(occupy_ns >= 0.0);
+  double start = cmd_free_;
+  for (double b : banks_) start = std::max(start, b);
+  cmd_free_ = start + cmd_slot_ns_;
+  const double done = start + std::max(occupy_ns, cmd_slot_ns_);
+  std::fill(banks_.begin(), banks_.end(), done);
+  return done;
+}
+
+double ChannelTimer::issue_data(unsigned bank, double occupy_ns,
+                                std::uint64_t bytes) {
+  const double bank_done = issue(bank, occupy_ns);
+  const double start = std::max(bank_done, data_free_);
+  data_free_ = start + static_cast<double>(bytes) / bytes_per_ns_;
+  return data_free_;
+}
+
+double ChannelTimer::transfer(std::uint64_t bytes) {
+  data_free_ += static_cast<double>(bytes) / bytes_per_ns_;
+  return data_free_;
+}
+
+double ChannelTimer::finish_ns() const {
+  double t = std::max(cmd_free_, data_free_);
+  for (double b : banks_) t = std::max(t, b);
+  return t;
+}
+
+void ChannelTimer::reset() {
+  cmd_free_ = 0.0;
+  data_free_ = 0.0;
+  std::fill(banks_.begin(), banks_.end(), 0.0);
+}
+
+}  // namespace pinatubo::mem

@@ -1,0 +1,43 @@
+#include "mem/commands.hpp"
+
+#include <sstream>
+
+namespace pinatubo::mem {
+
+const char* to_string(CmdKind k) {
+  switch (k) {
+    case CmdKind::kAct:
+      return "ACT";
+    case CmdKind::kRead:
+      return "RD";
+    case CmdKind::kWrite:
+      return "WR";
+    case CmdKind::kPrecharge:
+      return "PRE";
+    case CmdKind::kModeSet:
+      return "MRS4";
+    case CmdKind::kPimReset:
+      return "PIM_RESET";
+    case CmdKind::kPimLoad:
+      return "PIM_LOAD";
+    case CmdKind::kPimSense:
+      return "PIM_SENSE";
+    case CmdKind::kPimWriteback:
+      return "PIM_WB";
+    case CmdKind::kPimGdlOp:
+      return "PIM_GDL";
+    case CmdKind::kPimIoOp:
+      return "PIM_IO";
+  }
+  return "?";
+}
+
+std::string Command::to_string() const {
+  std::ostringstream os;
+  os << mem::to_string(kind) << ' ' << addr.to_string();
+  if (kind == CmdKind::kModeSet) os << " op=" << pinatubo::to_string(op);
+  if (aux != 0) os << " aux=" << aux;
+  return os.str();
+}
+
+}  // namespace pinatubo::mem

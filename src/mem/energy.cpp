@@ -1,0 +1,38 @@
+#include "mem/energy.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace pinatubo::mem {
+
+void EnergyCounter::add(const std::string& component, double pj) {
+  PIN_CHECK_MSG(pj >= 0.0, component << " energy " << pj << " < 0");
+  parts_[component] += pj;
+}
+
+void EnergyCounter::merge(const EnergyCounter& other) {
+  for (const auto& [k, v] : other.parts_) parts_[k] += v;
+}
+
+double EnergyCounter::total_pj() const {
+  double t = 0;
+  for (const auto& [k, v] : parts_) t += v;
+  return t;
+}
+
+double EnergyCounter::get(const std::string& component) const {
+  const auto it = parts_.find(component);
+  return it == parts_.end() ? 0.0 : it->second;
+}
+
+std::string EnergyCounter::to_string() const {
+  std::ostringstream os;
+  os << "total " << units::format_energy(total_pj());
+  for (const auto& [k, v] : parts_)
+    os << "; " << k << ' ' << units::format_energy(v);
+  return os.str();
+}
+
+}  // namespace pinatubo::mem

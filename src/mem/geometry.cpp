@@ -1,0 +1,42 @@
+#include "mem/geometry.hpp"
+
+#include "common/error.hpp"
+
+namespace pinatubo::mem {
+
+void Geometry::validate() const {
+  PIN_CHECK(channels >= 1);
+  PIN_CHECK(ranks_per_channel >= 1);
+  PIN_CHECK(chips_per_rank >= 1);
+  PIN_CHECK(banks_per_chip >= 1);
+  PIN_CHECK(subarrays_per_bank >= 1);
+  PIN_CHECK(mats_per_subarray >= 1);
+  PIN_CHECK(rows_per_subarray >= 1);
+  PIN_CHECK(row_slice_bits >= 8);
+  PIN_CHECK(sa_mux_share >= 1);
+  PIN_CHECK_MSG(row_slice_bits % mats_per_subarray == 0,
+                "row slice must split evenly over MATs");
+  PIN_CHECK_MSG(row_group_bits() % sa_mux_share == 0,
+                "row group must split evenly over sense steps");
+  PIN_CHECK_MSG(rank_row_bits() % 8 == 0, "rank row must be byte aligned");
+}
+
+Geometry geometry_from_config(const Config& cfg) {
+  Geometry g;
+  auto u = [&](const char* key, unsigned def) {
+    return static_cast<unsigned>(cfg.get_u64(key, def));
+  };
+  g.channels = u("geometry.channels", g.channels);
+  g.ranks_per_channel = u("geometry.ranks", g.ranks_per_channel);
+  g.chips_per_rank = u("geometry.chips", g.chips_per_rank);
+  g.banks_per_chip = u("geometry.banks", g.banks_per_chip);
+  g.subarrays_per_bank = u("geometry.subarrays", g.subarrays_per_bank);
+  g.mats_per_subarray = u("geometry.mats", g.mats_per_subarray);
+  g.rows_per_subarray = u("geometry.rows", g.rows_per_subarray);
+  g.row_slice_bits = cfg.get_u64("geometry.row_slice_bits", g.row_slice_bits);
+  g.sa_mux_share = u("geometry.sa_mux_share", g.sa_mux_share);
+  g.validate();
+  return g;
+}
+
+}  // namespace pinatubo::mem

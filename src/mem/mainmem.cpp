@@ -1,0 +1,118 @@
+#include "mem/mainmem.hpp"
+
+#include "common/error.hpp"
+
+namespace pinatubo::mem {
+
+MainMemory::MainMemory(const Geometry& geo, nvm::Tech tech,
+                       SenseFidelity fidelity, std::uint64_t seed)
+    : codec_(geo), tech_(tech), cell_(&nvm::cell_params(tech)),
+      fidelity_(fidelity), rng_(seed),
+      zero_row_(geo.rank_row_bits()) {}
+
+void MainMemory::write_row(const RowAddr& addr, const BitVector& data) {
+  PIN_CHECK_MSG(data.size() == geometry().rank_row_bits(),
+                "row write size " << data.size() << " != "
+                                  << geometry().rank_row_bits());
+  const std::uint64_t id = codec_.encode(addr);
+  wear_.record(id, data.size());
+  rows_[id] = data;
+}
+
+void MainMemory::write_row_partial(const RowAddr& addr,
+                                   std::size_t bit_offset,
+                                   const BitVector& data) {
+  const std::size_t row_bits = geometry().rank_row_bits();
+  PIN_CHECK_MSG(bit_offset + data.size() <= row_bits,
+                "partial write [" << bit_offset << ", "
+                                  << bit_offset + data.size() << ") exceeds row "
+                                  << row_bits);
+  const std::uint64_t id = codec_.encode(addr);
+  wear_.record(id, data.size());
+  auto& row = row_mut(id);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    row.set(bit_offset + i, data.get(i));
+}
+
+BitVector MainMemory::read_row(const RowAddr& addr) const {
+  return row_ref(codec_.encode(addr));
+}
+
+BitVector MainMemory::read_row_partial(const RowAddr& addr,
+                                       std::size_t bit_offset,
+                                       std::size_t bits) const {
+  const std::size_t row_bits = geometry().rank_row_bits();
+  PIN_CHECK_MSG(bit_offset + bits <= row_bits,
+                "partial read beyond row width");
+  const BitVector& row = row_ref(codec_.encode(addr));
+  BitVector out(bits);
+  for (std::size_t i = 0; i < bits; ++i)
+    if (row.get(bit_offset + i)) out.set(i);
+  return out;
+}
+
+bool MainMemory::row_exists(const RowAddr& addr) const {
+  return rows_.count(codec_.encode(addr)) != 0;
+}
+
+BitVector MainMemory::sense_rows(const std::vector<RowAddr>& rows, BitOp op) {
+  PIN_CHECK(!rows.empty());
+  const auto n = static_cast<unsigned>(rows.size());
+  for (const auto& r : rows) {
+    codec_.check(r);
+    PIN_CHECK_MSG(r.same_subarray(rows.front()),
+                  "intra-subarray op requires co-located rows: "
+                      << r.to_string() << " vs " << rows.front().to_string());
+  }
+  PIN_CHECK_MSG(csa_.supports(op, n, *cell_),
+                "unsupported sense shape: " << pinatubo::to_string(op)
+                                            << " over " << n << " rows on "
+                                            << nvm::to_string(tech_));
+
+  const std::size_t width = geometry().rank_row_bits();
+  if (fidelity_ == SenseFidelity::kNominal) {
+    // Word-parallel equivalent of nominal analog sensing.
+    std::vector<const BitVector*> srcs;
+    std::vector<BitVector> storage;
+    storage.reserve(rows.size());
+    for (const auto& r : rows) storage.push_back(read_row(r));
+    for (const auto& s : storage) srcs.push_back(&s);
+    return BitVector::reduce(op, srcs);
+  }
+
+  // Analog path: every bitline sensed independently with fresh variation.
+  std::vector<BitVector> operands;
+  operands.reserve(rows.size());
+  for (const auto& r : rows) operands.push_back(read_row(r));
+  BitVector out(width);
+  std::vector<bool> column(rows.size());
+  for (std::size_t bit = 0; bit < width; ++bit) {
+    for (std::size_t r = 0; r < operands.size(); ++r)
+      column[r] = operands[r].get(bit);
+    if (csa_.sense_op(op, column, *cell_, &rng_)) out.set(bit);
+  }
+  return out;
+}
+
+BitVector MainMemory::buffer_op(const RowAddr& a, const RowAddr& b,
+                                BitOp op) const {
+  codec_.check(a);
+  if (op != BitOp::kInv) codec_.check(b);
+  const BitVector ra = read_row(a);
+  if (op == BitOp::kInv) return ~ra;
+  return apply(op, ra, read_row(b));
+}
+
+const BitVector& MainMemory::row_ref(std::uint64_t id) const {
+  const auto it = rows_.find(id);
+  return it == rows_.end() ? zero_row_ : it->second;
+}
+
+BitVector& MainMemory::row_mut(std::uint64_t id) {
+  auto it = rows_.find(id);
+  if (it == rows_.end())
+    it = rows_.emplace(id, BitVector(geometry().rank_row_bits())).first;
+  return it->second;
+}
+
+}  // namespace pinatubo::mem

@@ -1,0 +1,97 @@
+// Functional NVM main-memory array.
+//
+// Stores data at rank-row granularity (one BitVector of rank_row_bits per
+// (channel, rank, bank, subarray, row) coordinate) and *derives* the result
+// of every PIM operation through the sensing models:
+//
+//  * intra-subarray multi-row ops go through the CSA reference machinery —
+//    in `kNominal` mode via the word-parallel boolean equivalent (proven
+//    equal to nominal analog sensing by the reference algebra and asserted
+//    by tests), in `kAnalog` mode bit-by-bit through CsaModel::sense_op
+//    with sampled cell variation and SA offset, so sensing *can fail* when
+//    the operation exceeds the technology's margin;
+//  * inter-subarray / inter-bank ops use the digital add-on logic (always
+//    exact).
+//
+// Unsupported shapes (e.g. 4-row AND, 4-row OR on STT-MRAM) throw — the
+// hardware has no reference for them, and the scheduler above must never
+// emit them.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bitvec/bitvector.hpp"
+#include "circuit/csa.hpp"
+#include "common/random.hpp"
+#include "mem/address.hpp"
+#include "mem/wear.hpp"
+#include "nvm/technology.hpp"
+
+namespace pinatubo::mem {
+
+enum class SenseFidelity {
+  kNominal,  ///< variation-free; fast word-parallel path
+  kAnalog,   ///< per-bit sampled variation + SA offset (slow; tests/MC)
+};
+
+class MainMemory {
+ public:
+  MainMemory(const Geometry& geo, nvm::Tech tech,
+             SenseFidelity fidelity = SenseFidelity::kNominal,
+             std::uint64_t seed = 1);
+
+  const AddressCodec& codec() const { return codec_; }
+  const Geometry& geometry() const { return codec_.geometry(); }
+  nvm::Tech tech() const { return tech_; }
+  const nvm::CellParams& cell() const { return *cell_; }
+  const circuit::CsaModel& csa() const { return csa_; }
+  SenseFidelity fidelity() const { return fidelity_; }
+
+  /// Full-row write; `data` must be exactly rank_row_bits wide.
+  void write_row(const RowAddr& addr, const BitVector& data);
+  /// Writes `data` into the row starting at `bit_offset`.
+  void write_row_partial(const RowAddr& addr, std::size_t bit_offset,
+                         const BitVector& data);
+  /// Full-row read (all-zero for never-written rows).
+  BitVector read_row(const RowAddr& addr) const;
+  /// Reads `bits` starting at `bit_offset`.
+  BitVector read_row_partial(const RowAddr& addr, std::size_t bit_offset,
+                             std::size_t bits) const;
+  /// Whether the row has ever been written.
+  bool row_exists(const RowAddr& addr) const;
+
+  /// Intra-subarray PIM op: multi-row activation + modified SA.  All
+  /// operand rows must lie in the same subarray; shape must be supported
+  /// by the CSA for this technology.  Returns the sensed row (full width).
+  BitVector sense_rows(const std::vector<RowAddr>& rows, BitOp op);
+
+  /// Digital op at the global row buffer (inter-subarray) or IO buffer
+  /// (inter-bank): exact two-operand logic.  `op` may be any BitOp; kInv
+  /// uses only `a`.
+  BitVector buffer_op(const RowAddr& a, const RowAddr& b, BitOp op) const;
+
+  /// Number of distinct rows ever written (memory footprint proxy).
+  std::size_t rows_written() const { return rows_.size(); }
+
+  /// Endurance ledger: every row write is recorded here.
+  const WearTracker& wear() const { return wear_; }
+  WearTracker& wear() { return wear_; }
+
+ private:
+  const BitVector& row_ref(std::uint64_t id) const;
+  BitVector& row_mut(std::uint64_t id);
+
+  AddressCodec codec_;
+  nvm::Tech tech_;
+  const nvm::CellParams* cell_;
+  circuit::CsaModel csa_;
+  SenseFidelity fidelity_;
+  mutable Rng rng_;
+  std::unordered_map<std::uint64_t, BitVector> rows_;
+  BitVector zero_row_;
+  WearTracker wear_;
+};
+
+}  // namespace pinatubo::mem

@@ -1,0 +1,47 @@
+#include "mem/wear.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pinatubo::mem {
+
+void WearTracker::record(std::uint64_t row_id, std::uint64_t bits) {
+  const std::uint64_t n = ++per_row_[row_id];
+  max_ = std::max(max_, n);
+  ++total_;
+  cells_ += bits;
+}
+
+std::uint64_t WearTracker::writes_of(std::uint64_t row_id) const {
+  const auto it = per_row_.find(row_id);
+  return it == per_row_.end() ? 0 : it->second;
+}
+
+double WearTracker::imbalance() const {
+  if (per_row_.empty()) return 1.0;
+  const double mean =
+      static_cast<double>(total_) / static_cast<double>(per_row_.size());
+  return static_cast<double>(max_) / mean;
+}
+
+double WearTracker::lifetime_years(double cell_endurance,
+                                   double row_writes_per_second) const {
+  PIN_CHECK(cell_endurance > 0 && row_writes_per_second > 0);
+  if (total_ == 0) return 1e18;  // nothing written: effectively unlimited
+  // The hottest row receives max_/total_ of the write stream.
+  const double hot_rate = row_writes_per_second *
+                          static_cast<double>(max_) /
+                          static_cast<double>(total_);
+  const double seconds = cell_endurance / hot_rate;
+  return seconds / (365.25 * 24 * 3600);
+}
+
+void WearTracker::reset() {
+  per_row_.clear();
+  total_ = 0;
+  cells_ = 0;
+  max_ = 0;
+}
+
+}  // namespace pinatubo::mem

@@ -1,0 +1,48 @@
+// PCM write-endurance accounting.
+//
+// NVM cells survive a bounded number of SET/RESET cycles (~1e8-1e9 for
+// PCM).  Every write through the functional memory is recorded per row,
+// so workloads can be audited for wear hot spots — which matters for
+// Pinatubo specifically: a 2-row chained OR writes its accumulator row
+// once per step (127 writes per 128-operand op), while one 128-row
+// activation writes it once.  `bench_endurance` quantifies the lifetime
+// difference.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/address.hpp"
+
+namespace pinatubo::mem {
+
+class WearTracker {
+ public:
+  /// Records one write of `bits` cell-writes to the row.
+  void record(std::uint64_t row_id, std::uint64_t bits);
+
+  std::uint64_t total_row_writes() const { return total_; }
+  std::uint64_t total_cell_writes() const { return cells_; }
+  /// Most-written row and its count (the lifetime-limiting hot spot).
+  std::uint64_t max_row_writes() const { return max_; }
+  std::uint64_t rows_touched() const { return per_row_.size(); }
+  std::uint64_t writes_of(std::uint64_t row_id) const;
+
+  /// Wear imbalance: max / mean over touched rows (1.0 = perfectly even).
+  double imbalance() const;
+
+  /// Years until the hottest row exhausts `cell_endurance` write cycles,
+  /// given the observed write mix continues at `row_writes_per_second`.
+  double lifetime_years(double cell_endurance,
+                        double row_writes_per_second) const;
+
+  void reset();
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> per_row_;
+  std::uint64_t total_ = 0;
+  std::uint64_t cells_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace pinatubo::mem

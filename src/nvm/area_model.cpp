@@ -1,0 +1,109 @@
+#include "nvm/area_model.hpp"
+
+#include "common/error.hpp"
+
+namespace pinatubo::nvm {
+
+double ChipArea::total_um2() const {
+  double t = 0;
+  for (const auto& i : items) t += i.area_um2;
+  return t;
+}
+
+double ChipArea::find(const std::string& name) const {
+  for (const auto& i : items)
+    if (i.name == name) return i.area_um2;
+  return 0.0;
+}
+
+double OverheadBreakdown::total_um2() const {
+  double t = 0;
+  for (const auto& i : items) t += i.area_um2;
+  return t;
+}
+
+double OverheadBreakdown::percent(const std::string& name) const {
+  PIN_CHECK(baseline_um2 > 0);
+  for (const auto& i : items)
+    if (i.name == name) return 100.0 * i.area_um2 / baseline_um2;
+  return 0.0;
+}
+
+AreaModel::AreaModel(const CellParams& cell, const ChipStructure& chip)
+    : cell_(&cell), chip_(chip) {
+  PIN_CHECK(chip_.cells > 0);
+  PIN_CHECK(chip_.row_slice_bits % chip_.mats_per_subarray == 0);
+  PIN_CHECK(chip_.cols_per_mat() % chip_.sa_mux_share == 0);
+}
+
+ChipArea AreaModel::baseline() const {
+  const double f2 = chip_.f2_um2();
+  ChipArea a;
+  a.items.push_back(
+      {"cell array",
+       static_cast<double>(chip_.cells) * cell_->cell_area_f2 * f2});
+  a.items.push_back(
+      {"sense amps",
+       static_cast<double>(chip_.sense_amps()) * kSenseAmpF2 * f2});
+  a.items.push_back(
+      {"write drivers",
+       static_cast<double>(chip_.sense_amps()) * kWriteDriverF2 * f2});
+  a.items.push_back(
+      {"lwl drivers",
+       static_cast<double>(chip_.lwl_drivers()) * kLwlDriverF2 * f2});
+  const double bls = static_cast<double>(chip_.subarrays()) *
+                     static_cast<double>(chip_.row_slice_bits);
+  a.items.push_back({"column mux", bls * kColMuxF2PerBl * f2});
+  a.items.push_back(
+      {"global row buffers", static_cast<double>(chip_.banks) *
+                                 static_cast<double>(chip_.row_slice_bits) *
+                                 kRowBufF2PerBit * f2});
+  a.items.push_back({"global routing/decoders", kGlobalFixedUm2});
+  a.items.push_back({"io", kIoFixedUm2});
+  a.items.push_back({"control", kCtrlFixedUm2});
+  return a;
+}
+
+OverheadBreakdown AreaModel::pinatubo_overhead() const {
+  const double f2 = chip_.f2_um2();
+  OverheadBreakdown o;
+  o.baseline_um2 = baseline().total_um2();
+  // Intra-subarray pieces.
+  o.items.push_back(
+      {"and/or", static_cast<double>(chip_.mats()) * kRefBranchesF2PerMat * f2});
+  o.items.push_back(
+      {"xor", static_cast<double>(chip_.sense_amps()) * kXorF2PerSa * f2});
+  o.items.push_back(
+      {"wl act",
+       static_cast<double>(chip_.lwl_drivers()) * kLwlLatchF2 * f2});
+  // Inter-subarray logic: one full-row-width unit per bank.
+  o.items.push_back({"inter-sub", static_cast<double>(chip_.banks) *
+                                      static_cast<double>(chip_.row_slice_bits) *
+                                      kInterLogicF2PerBit * f2});
+  // Inter-bank logic: one unit at the chip IO buffer.
+  o.items.push_back({"inter-bank",
+                     static_cast<double>(chip_.row_slice_bits) *
+                         kInterLogicF2PerBit * f2});
+  return o;
+}
+
+OverheadBreakdown AreaModel::acpim_overhead() const {
+  const double f2 = chip_.f2_um2();
+  OverheadBreakdown o;
+  o.baseline_um2 = baseline().total_um2();
+  // Digital ALU datapath at every subarray row buffer.
+  o.items.push_back({"subarray alus",
+                     static_cast<double>(chip_.subarrays()) *
+                         static_cast<double>(chip_.row_slice_bits) *
+                         kAcpimF2PerBit * f2});
+  // Same global units as Pinatubo (results still move between levels).
+  o.items.push_back({"inter-sub", static_cast<double>(chip_.banks) *
+                                      static_cast<double>(chip_.row_slice_bits) *
+                                      kInterLogicF2PerBit * f2});
+  o.items.push_back({"inter-bank",
+                     static_cast<double>(chip_.row_slice_bits) *
+                         kInterLogicF2PerBit * f2});
+  return o;
+}
+
+}  // namespace pinatubo::nvm

@@ -1,0 +1,113 @@
+// NVSim-style chip area model and the Fig. 13 overhead analysis.
+//
+// Builds a 65 nm NVM chip floorplan from structural counts (cells, sense
+// amplifiers, wordline drivers, buffers) and per-instance areas expressed in
+// F^2.  On top of the baseline chip it prices the Pinatubo additions
+// (AND/OR reference branches, XOR capacitor+gates, LWL latch transistors,
+// WD bypass, inter-subarray and inter-bank logic) and the AC-PIM
+// alternative (full digital ALUs at every subarray row buffer).
+//
+// Per-instance F^2 constants for the digital add-ons are calibrated to the
+// paper's 65 nm synthesis results; the structural counts come from the
+// memory geometry, so changing the organization changes the percentages the
+// way a floorplanner would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nvm/technology.hpp"
+
+namespace pinatubo::nvm {
+
+/// Structural counts for one memory chip (default: the evaluated 64 MB
+/// 1T1R chip — 8 banks x 64 subarrays x 128 rows x 8 Kb row slice).
+struct ChipStructure {
+  std::uint64_t cells = 1ull << 29;       ///< bits per chip
+  std::uint64_t banks = 8;
+  std::uint64_t subarrays_per_bank = 64;
+  std::uint64_t mats_per_subarray = 8;
+  std::uint64_t rows_per_subarray = 128;
+  std::uint64_t row_slice_bits = 8192;    ///< per chip per bank
+  std::uint64_t sa_mux_share = 32;        ///< columns per sense amp
+  double feature_nm = 65.0;
+
+  std::uint64_t subarrays() const { return banks * subarrays_per_bank; }
+  std::uint64_t mats() const { return subarrays() * mats_per_subarray; }
+  std::uint64_t cols_per_mat() const {
+    return row_slice_bits / mats_per_subarray;
+  }
+  std::uint64_t sense_amps() const {
+    return mats() * cols_per_mat() / sa_mux_share;
+  }
+  std::uint64_t lwl_drivers() const {
+    return subarrays() * rows_per_subarray * mats_per_subarray;
+  }
+  /// F^2 in um^2.
+  double f2_um2() const {
+    const double f_um = feature_nm * 1e-3;
+    return f_um * f_um;
+  }
+};
+
+/// One named area contribution (um^2).
+struct AreaItem {
+  std::string name;
+  double area_um2;
+};
+
+/// Baseline chip floorplan.
+struct ChipArea {
+  std::vector<AreaItem> items;
+  double total_um2() const;
+  double find(const std::string& name) const;  ///< 0 if absent
+};
+
+/// Add-on breakdown; percentages are relative to the baseline chip.
+struct OverheadBreakdown {
+  std::vector<AreaItem> items;
+  double baseline_um2 = 0;
+  double total_um2() const;
+  double total_percent() const { return 100.0 * total_um2() / baseline_um2; }
+  double percent(const std::string& name) const;
+};
+
+class AreaModel {
+ public:
+  AreaModel(const CellParams& cell, const ChipStructure& chip);
+
+  /// Unmodified NVM chip floorplan.
+  ChipArea baseline() const;
+  /// Pinatubo circuit additions (Fig. 13 right).
+  OverheadBreakdown pinatubo_overhead() const;
+  /// AC-PIM: digital ALUs at every subarray plus the same global logic.
+  OverheadBreakdown acpim_overhead() const;
+
+  const ChipStructure& chip() const { return chip_; }
+
+ private:
+  const CellParams* cell_;
+  ChipStructure chip_;
+
+  // Baseline per-instance areas (F^2).
+  static constexpr double kSenseAmpF2 = 1200;    // current-sampling CSA
+  static constexpr double kWriteDriverF2 = 400;
+  static constexpr double kLwlDriverF2 = 15;
+  static constexpr double kColMuxF2PerBl = 6;
+  static constexpr double kRowBufF2PerBit = 60;  // global row buffer latch
+  // Fixed blocks (um^2): global decoders/routing, IO pads, control.
+  static constexpr double kGlobalFixedUm2 = 1.0e6;
+  static constexpr double kIoFixedUm2 = 0.5e6;
+  static constexpr double kCtrlFixedUm2 = 0.2e6;
+
+  // Pinatubo add-ons.
+  static constexpr double kRefBranchesF2PerMat = 347;  // AND/OR refs, shared
+  static constexpr double kXorF2PerSa = 32;            // Ch cap + 2T + mux
+  static constexpr double kLwlLatchF2 = 6.8;           // 2 small transistors
+  static constexpr double kInterLogicF2PerBit = 780;   // synthesized unit
+  // AC-PIM per-subarray digital ALU datapath.
+  static constexpr double kAcpimF2PerBit = 95;
+};
+
+}  // namespace pinatubo::nvm

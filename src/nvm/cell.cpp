@@ -1,0 +1,62 @@
+#include "nvm/cell.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pinatubo::nvm {
+
+double sample_resistance(const CellParams& p, bool value, Rng& rng) {
+  const double nominal = value ? p.r_low_ohm : p.r_high_ohm;
+  const double sigma = value ? p.sigma_low : p.sigma_high;
+  // Log-normal with median at the nominal value.
+  return nominal * rng.lognormal(0.0, sigma);
+}
+
+double nominal_resistance(const CellParams& p, bool value) {
+  return value ? p.r_low_ohm : p.r_high_ohm;
+}
+
+double parallel_resistance(std::span<const double> r_ohm) {
+  PIN_CHECK(!r_ohm.empty());
+  double g = 0.0;
+  for (double r : r_ohm) {
+    PIN_CHECK_MSG(r > 0.0, "non-positive resistance " << r);
+    g += 1.0 / r;
+  }
+  return 1.0 / g;
+}
+
+double bitline_conductance(std::span<const double> r_ohm) {
+  double g = 0.0;
+  for (double r : r_ohm) {
+    PIN_CHECK_MSG(r > 0.0, "non-positive resistance " << r);
+    g += 1.0 / r;
+  }
+  return g;
+}
+
+double BitlineModel::sampled_current_a(const std::vector<bool>& values,
+                                       Rng& rng) const {
+  PIN_CHECK(!values.empty());
+  double g = 0.0;
+  for (bool v : values) g += 1.0 / sample_resistance(*params_, v, rng);
+  return params_->read_voltage_v * g;
+}
+
+double BitlineModel::nominal_current_a(const std::vector<bool>& values) const {
+  PIN_CHECK(!values.empty());
+  double g = 0.0;
+  for (bool v : values) g += 1.0 / nominal_resistance(*params_, v);
+  return params_->read_voltage_v * g;
+}
+
+double BitlineModel::nominal_current_a(std::size_t ones, std::size_t n) const {
+  PIN_CHECK(n > 0);
+  PIN_CHECK(ones <= n);
+  const double g = static_cast<double>(ones) / params_->r_low_ohm +
+                   static_cast<double>(n - ones) / params_->r_high_ohm;
+  return params_->read_voltage_v * g;
+}
+
+}  // namespace pinatubo::nvm

@@ -1,0 +1,59 @@
+// Resistive-cell electrical model.
+//
+// Bridges stored logic values and the analog quantities the sense amplifier
+// observes.  A multi-row activation places n cells in parallel on one
+// bitline; the SA sees the combined conductance.  `BitlineModel` samples
+// per-cell resistances (log-normal variation around the technology nominals)
+// and reduces them, which is how the Pinatubo backend *derives* bitwise
+// results instead of asserting them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/random.hpp"
+#include "nvm/technology.hpp"
+
+namespace pinatubo::nvm {
+
+/// Logic encoding used throughout: LRS (low resistance) = logic 1,
+/// HRS (high resistance) = logic 0, as the paper assumes for PCM/ReRAM.
+struct CellState {
+  bool value = false;       ///< stored logic value
+  double resistance_ohm{};  ///< sampled device resistance
+};
+
+/// Samples a cell resistance for a stored value with process variation.
+double sample_resistance(const CellParams& p, bool value, Rng& rng);
+
+/// Nominal (variation-free) resistance for a stored value.
+double nominal_resistance(const CellParams& p, bool value);
+
+/// Parallel combination ("||" in the paper) of resistances.
+double parallel_resistance(std::span<const double> r_ohm);
+
+/// Conductance sum of n cells on one bitline (S).
+double bitline_conductance(std::span<const double> r_ohm);
+
+/// Models one bitline with n simultaneously-activated cells.
+class BitlineModel {
+ public:
+  explicit BitlineModel(const CellParams& params) : params_(&params) {}
+
+  /// Sampled total BL current (A) for the given stored values, with
+  /// per-cell log-normal variation drawn from `rng`.
+  double sampled_current_a(const std::vector<bool>& values, Rng& rng) const;
+
+  /// Nominal BL current (A), no variation.
+  double nominal_current_a(const std::vector<bool>& values) const;
+
+  /// Nominal current when exactly `ones` of `n` open cells store 1.
+  double nominal_current_a(std::size_t ones, std::size_t n) const;
+
+  const CellParams& params() const { return *params_; }
+
+ private:
+  const CellParams* params_;
+};
+
+}  // namespace pinatubo::nvm

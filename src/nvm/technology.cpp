@@ -1,0 +1,89 @@
+#include "nvm/technology.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace pinatubo::nvm {
+
+const char* to_string(Tech t) {
+  switch (t) {
+    case Tech::kPcm:
+      return "PCM";
+    case Tech::kSttMram:
+      return "STT-MRAM";
+    case Tech::kReRam:
+      return "ReRAM";
+  }
+  return "?";
+}
+
+const CellParams& cell_params(Tech t) {
+  // Resistance corners follow the NVMDB ranges the paper sweeps; write
+  // energies/pulses follow the prototype papers it cites.
+  static const CellParams kPcm{
+      .tech = Tech::kPcm,
+      .r_low_ohm = 10e3,
+      .r_high_ohm = 1e6,   // ON/OFF ratio 100
+      .sigma_low = 0.06,
+      .sigma_high = 0.10,
+      .read_voltage_v = 0.20,
+      .set_energy_pj = 13.5,
+      .reset_energy_pj = 19.2,
+      .set_pulse_ns = 150.0,
+      .reset_pulse_ns = 100.0,
+      .bidirectional_write = false,
+      .cell_area_f2 = 12.0,
+  };
+  static const CellParams kStt{
+      .tech = Tech::kSttMram,
+      .r_low_ohm = 2e3,
+      .r_high_ohm = 5e3,   // TMR 150% -> ratio 2.5
+      .sigma_low = 0.03,
+      .sigma_high = 0.04,
+      .read_voltage_v = 0.10,
+      .set_energy_pj = 1.0,
+      .reset_energy_pj = 1.0,
+      .set_pulse_ns = 10.0,
+      .reset_pulse_ns = 10.0,
+      .bidirectional_write = true,
+      .cell_area_f2 = 22.0,
+  };
+  static const CellParams kReRam{
+      .tech = Tech::kReRam,
+      .r_low_ohm = 20e3,
+      .r_high_ohm = 2e6,   // ON/OFF ratio 100
+      .sigma_low = 0.08,
+      .sigma_high = 0.12,
+      .read_voltage_v = 0.15,
+      .set_energy_pj = 2.0,
+      .reset_energy_pj = 2.4,
+      .set_pulse_ns = 20.0,
+      .reset_pulse_ns = 20.0,
+      .bidirectional_write = true,
+      .cell_area_f2 = 16.0,
+  };
+  switch (t) {
+    case Tech::kPcm:
+      return kPcm;
+    case Tech::kSttMram:
+      return kStt;
+    case Tech::kReRam:
+      return kReRam;
+  }
+  PIN_UNREACHABLE("bad Tech");
+}
+
+Tech tech_from_string(const std::string& name) {
+  std::string low(name.size(), '\0');
+  std::transform(name.begin(), name.end(), low.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (low == "pcm") return Tech::kPcm;
+  if (low == "stt" || low == "stt-mram" || low == "sttmram" || low == "mram")
+    return Tech::kSttMram;
+  if (low == "reram" || low == "rram") return Tech::kReRam;
+  PIN_UNREACHABLE("unknown NVM technology: " + name);
+}
+
+}  // namespace pinatubo::nvm

@@ -1,0 +1,63 @@
+// Emerging NVM technology parameter sets.
+//
+// The paper's evaluation uses 1T1R PCM as the case study but stresses that
+// Pinatubo works for any resistive cell; the HSPICE validation sweeps cell
+// resistances "from the recent PCM, STT-MRAM, and ReRAM prototypes" (via the
+// UCSD NVM database it cites).  These presets capture that: nominal LRS/HRS
+// resistances, log-normal variation, read/write electrical parameters, and
+// cell geometry.  They feed the circuit models (sensing margins, Fig. 5/6),
+// the energy model (Fig. 11/12), and the area model (Fig. 13).
+#pragma once
+
+#include <string>
+
+namespace pinatubo::nvm {
+
+enum class Tech { kPcm, kSttMram, kReRam };
+
+const char* to_string(Tech t);
+
+/// Electrical & geometric parameters of one resistive memory cell.
+struct CellParams {
+  Tech tech;
+
+  // Resistance states (ohm). Logic convention per the paper: HRS encodes "0"
+  // for PCM/ReRAM (enabling n-row OR); STT-MRAM's low ON/OFF ratio limits it
+  // to 2-row ops.
+  double r_low_ohm;    ///< LRS nominal (logic "1")
+  double r_high_ohm;   ///< HRS nominal (logic "0")
+  double sigma_low;    ///< log-normal sigma of LRS (lot-to-lot + cell)
+  double sigma_high;   ///< log-normal sigma of HRS
+
+  // Read path.
+  double read_voltage_v;  ///< BL bias during sensing
+
+  // Write path (per-cell).
+  double set_energy_pj;     ///< energy to write logic "1"
+  double reset_energy_pj;   ///< energy to write logic "0"
+  double set_pulse_ns;      ///< SET pulse width
+  double reset_pulse_ns;    ///< RESET pulse width
+  bool bidirectional_write; ///< STT/ReRAM need both current polarities
+
+  // Geometry.
+  double cell_area_f2;  ///< cell footprint in F^2 (1T1R)
+
+  /// ON/OFF resistance ratio rho = r_high / r_low.
+  double on_off_ratio() const { return r_high_ohm / r_low_ohm; }
+  /// Nominal read current through a single LRS cell (A).
+  double read_current_low_a() const { return read_voltage_v / r_low_ohm; }
+  /// Nominal read current through a single HRS cell (A).
+  double read_current_high_a() const { return read_voltage_v / r_high_ohm; }
+};
+
+/// Prototype-calibrated parameter presets.
+/// PCM:   90nm embedded PCM prototype class (De Sandre ISSCC'10 timing
+///        class; NVMDB resistance corners).
+/// STT:   64Mb MRAM prototype class (Tsuchida ISSCC'10); TMR ~150%.
+/// ReRAM: HfOx 1T1R prototype class.
+const CellParams& cell_params(Tech t);
+
+/// Parses "pcm" / "stt" / "reram" (case-insensitive); throws on junk.
+Tech tech_from_string(const std::string& name);
+
+}  // namespace pinatubo::nvm

@@ -1,0 +1,228 @@
+#include "pinatubo/allocator.hpp"
+
+#include "common/error.hpp"
+
+namespace pinatubo::core {
+
+const char* to_string(AllocPolicy p) {
+  return p == AllocPolicy::kPimAware ? "pim-aware" : "naive";
+}
+
+RowAllocator::RowAllocator(const mem::Geometry& geo, AllocPolicy policy)
+    : geo_(geo), policy_(policy) {
+  geo_.validate();
+  big_subarray_ = geo_.subarrays_per_bank;
+}
+
+VectorShape RowAllocator::shape_of(std::uint64_t bits) const {
+  PIN_CHECK(bits > 0);
+  const std::uint64_t step = geo_.sense_step_bits();
+  const std::uint64_t group = geo_.row_group_bits();
+  VectorShape s;
+  if (bits <= group) {
+    s.stripes = static_cast<unsigned>((bits + step - 1) / step);
+    s.groups = 1;
+    s.rows = 1;
+  } else {
+    s.stripes = geo_.sa_mux_share;  // full rows
+    s.groups = (bits + group - 1) / group;
+    const unsigned ranks = geo_.ranks_per_channel;
+    s.rows = static_cast<unsigned>((s.groups + ranks - 1) / ranks);
+  }
+  return s;
+}
+
+Placement RowAllocator::allocate(std::uint64_t bits) {
+  const VectorShape s = shape_of(bits);
+  PIN_CHECK_MSG(s.rows <= geo_.rows_per_subarray,
+                "vector of " << bits
+                             << " bits exceeds one subarray per rank ("
+                             << geo_.rows_per_subarray << " rows)");
+  // Reuse a freed slot of the same shape first.
+  const auto key = std::make_pair(s.stripes, s.groups);
+  if (auto it = free_.find(key); it != free_.end() && !it->second.empty()) {
+    Placement p = it->second.back();
+    it->second.pop_back();
+    p.bits = bits;
+    ++live_;
+    return p;
+  }
+  Placement p = s.groups > 1 ? place_big(s, bits) : place_at_cursor(s, bits);
+  ++live_;
+  return p;
+}
+
+Placement RowAllocator::place_big(const VectorShape& s, std::uint64_t bits) {
+  // Rank-mirrored region growing down from the top subarray.
+  if (big_row_ == 0 || big_row_ + s.rows > geo_.rows_per_subarray) {
+    PIN_CHECK_MSG(big_subarray_ > 0, "machine full (large vectors)");
+    const unsigned target = big_subarray_ - 1;
+    // The mirrored region occupies `target` in EVERY rank; the small-vector
+    // cursor must not have reached it.
+    const bool cursor_clear =
+        cur_.subarray < target ||
+        (cur_.subarray == target && cur_.row == 0 && cur_.col == 0);
+    PIN_CHECK_MSG(cursor_clear,
+                  "machine full (large-vector region met the cursor)");
+    big_subarray_ = target;
+    big_row_ = 0;
+  }
+  Placement p;
+  p.channel = 0;
+  p.rank = 0;
+  p.subarray = big_subarray_;
+  p.first_row = big_row_;
+  p.col_stripe = 0;
+  p.stripes = s.stripes;
+  p.groups = s.groups;
+  p.rows = s.rows;
+  p.bits = bits;
+  big_row_ += s.rows;
+  return p;
+}
+
+Placement RowAllocator::place_at_cursor(const VectorShape& s,
+                                        std::uint64_t bits) {
+  const unsigned total_stripes = geo_.sa_mux_share;
+  const unsigned rows = geo_.rows_per_subarray;
+  const std::uint64_t subarrays_total =
+      static_cast<std::uint64_t>(geo_.channels) * geo_.ranks_per_channel *
+      geo_.subarrays_per_bank;
+
+  if (policy_ == AllocPolicy::kNaive) {
+    // Conventional placement: consecutive allocations land in different
+    // subarrays (page-interleaved), destroying multi-row opportunities.
+    const std::uint64_t idx = naive_counter_++;
+    const std::uint64_t sub_linear = idx % subarrays_total;
+    const std::uint64_t slot = idx / subarrays_total;
+    const std::uint64_t rows_per_col = rows;
+    const auto slots_per_sub = rows_per_col * (total_stripes / s.stripes);
+    PIN_CHECK_MSG(slot < slots_per_sub, "machine full (naive policy)");
+    Placement p;
+    p.subarray = static_cast<unsigned>(sub_linear % geo_.subarrays_per_bank);
+    const std::uint64_t rk = sub_linear / geo_.subarrays_per_bank;
+    p.rank = static_cast<unsigned>(rk % geo_.ranks_per_channel);
+    p.channel = static_cast<unsigned>(rk / geo_.ranks_per_channel);
+    p.col_stripe = static_cast<unsigned>(slot / rows_per_col) * s.stripes;
+    p.first_row = static_cast<unsigned>(slot % rows_per_col);
+    p.stripes = s.stripes;
+    p.groups = s.groups;
+    p.rows = s.rows;
+    p.bits = bits;
+    return p;
+  }
+
+  // PIM-aware: fill a column window down the subarray's rows.
+  if (cur_.width != s.stripes) {
+    // Shape change: open a fresh window after the current column.
+    if (cur_.row != 0) cur_.col += cur_.width;
+    cur_.row = 0;
+    cur_.width = s.stripes;
+  }
+  while (true) {
+    if (cur_.col + s.stripes > total_stripes) {
+      advance_subarray();
+      cur_.width = s.stripes;
+      continue;
+    }
+    if (cur_.row + 1 > rows) {
+      cur_.col += s.stripes;
+      cur_.row = 0;
+      continue;
+    }
+    Placement p;
+    p.channel = cur_.channel;
+    p.rank = cur_.rank;
+    p.subarray = cur_.subarray;
+    p.first_row = cur_.row;
+    p.col_stripe = cur_.col;
+    p.stripes = s.stripes;
+    p.groups = s.groups;
+    p.rows = s.rows;
+    p.bits = bits;
+    cur_.row += 1;
+    return p;
+  }
+}
+
+void RowAllocator::advance_subarray() {
+  cur_.col = 0;
+  cur_.row = 0;
+  ++cur_.subarray;
+  // The big-vector region (subarrays >= big_subarray_) is reserved in
+  // every rank, so the small-vector cursor skips to the next rank there.
+  if (cur_.subarray >= big_subarray_) {
+    cur_.subarray = 0;
+    ++cur_.rank;
+    if (cur_.rank >= geo_.ranks_per_channel) {
+      cur_.rank = 0;
+      ++cur_.channel;
+      PIN_CHECK_MSG(cur_.channel < geo_.channels, "machine full");
+    }
+  }
+}
+
+void RowAllocator::free(const Placement& p) {
+  PIN_CHECK(live_ > 0);
+  --live_;
+  free_[{p.stripes, p.groups}].push_back(p);
+}
+
+Placement RowAllocator::virtual_placement(std::uint64_t index,
+                                          std::uint64_t bits) const {
+  const VectorShape s = shape_of(bits);
+  PIN_CHECK(s.rows <= geo_.rows_per_subarray);
+  const unsigned rows = geo_.rows_per_subarray;
+  const unsigned total_stripes = geo_.sa_mux_share;
+  const std::uint64_t subarrays_total =
+      static_cast<std::uint64_t>(geo_.channels) * geo_.ranks_per_channel *
+      geo_.subarrays_per_bank;
+
+  Placement p;
+  p.stripes = s.stripes;
+  p.groups = s.groups;
+  p.rows = s.rows;
+  p.bits = bits;
+
+  if (s.groups > 1) {
+    // Rank-mirrored big vectors from the top subarray down.
+    const std::uint64_t per_sub = rows / s.rows;
+    std::uint64_t sub_idx, slot;
+    if (policy_ == AllocPolicy::kPimAware) {
+      sub_idx = (index / per_sub) % geo_.subarrays_per_bank;
+      slot = index % per_sub;
+    } else {
+      // Naive interleaving scatters consecutive big vectors too.
+      sub_idx = index % geo_.subarrays_per_bank;
+      slot = (index / geo_.subarrays_per_bank) % per_sub;
+    }
+    p.subarray =
+        static_cast<unsigned>(geo_.subarrays_per_bank - 1 - sub_idx);
+    p.first_row = static_cast<unsigned>(slot * s.rows);
+    return p;
+  }
+
+  const std::uint64_t per_col = rows;
+  const std::uint64_t cols = total_stripes / s.stripes;
+  const std::uint64_t per_sub = per_col * cols;
+  std::uint64_t sub_linear;
+  if (policy_ == AllocPolicy::kPimAware) {
+    p.first_row = static_cast<unsigned>(index % per_col);
+    const std::uint64_t col_idx = (index / per_col) % cols;
+    p.col_stripe = static_cast<unsigned>(col_idx * s.stripes);
+    sub_linear = (index / per_sub) % subarrays_total;
+  } else {
+    // Naive interleaving: consecutive allocations scatter over subarrays.
+    sub_linear = index % subarrays_total;
+    const std::uint64_t slot = (index / subarrays_total) % per_sub;
+    p.col_stripe = static_cast<unsigned>(slot / per_col) * s.stripes;
+    p.first_row = static_cast<unsigned>(slot % per_col);
+  }
+  p.subarray = static_cast<unsigned>(sub_linear % geo_.subarrays_per_bank);
+  const std::uint64_t rk = sub_linear / geo_.subarrays_per_bank;
+  p.rank = static_cast<unsigned>(rk % geo_.ranks_per_channel);
+  p.channel = static_cast<unsigned>(rk / geo_.ranks_per_channel);
+  return p;
+}
+
+}  // namespace pinatubo::core

@@ -1,0 +1,143 @@
+// PIM-aware bit-vector allocation (paper §5, "pim-aware malloc" + the OS
+// memory management that "maximizes the opportunity for calling
+// intra-subarray operations").
+//
+// Layout model.  A bit-vector stripes across the 8 banks x 8 chips of a
+// rank in lock-step, so its placement is described by rank/subarray
+// coordinates plus a column window:
+//   * a *group* is one (subarray, row) coordinate across the whole rank
+//     (2^19 bits, the full-parallelism unit — turning point B);
+//   * a group splits into `sa_mux_share` (32) *column stripes* of
+//     sense_step_bits (2^14) each — one sensing step per stripe
+//     (turning point A);
+//   * a vector occupies `stripes` consecutive stripes in `groups`
+//     consecutive rows of ONE subarray.
+//
+// The PIM-aware policy fills a column window downward through a subarray's
+// rows before moving to the next window/subarray, so consecutively
+// allocated same-shape vectors sit on distinct rows of the same subarray
+// with aligned columns — exactly the multi-row-activation shape.  The
+// naive policy scatters allocations round-robin across subarrays and ranks
+// (the ablation showing why the OS support matters).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mem/geometry.hpp"
+
+namespace pinatubo::core {
+
+/// Where a logical bit-vector lives.
+///
+/// Single-group vectors (bits <= 2^19) occupy one (rank, subarray,
+/// first_row) coordinate.  Multi-group vectors follow the paper's
+/// "mapped to multiple ranks that work in serial": group g executes on
+/// rank (g % ranks) at row first_row + g / ranks, the same subarray /
+/// column coordinates mirrored across every rank of the channel.
+struct Placement {
+  unsigned channel = 0;
+  unsigned rank = 0;        ///< base rank (group 0)
+  unsigned subarray = 0;    ///< within the rank's bank-set
+  unsigned first_row = 0;
+  unsigned col_stripe = 0;  ///< first column stripe within the group
+  unsigned stripes = 1;     ///< stripes per group
+  std::uint64_t groups = 1;
+  unsigned rows = 1;        ///< rows spanned per rank = ceil(groups/ranks)
+  std::uint64_t bits = 0;   ///< logical length
+
+  bool operator==(const Placement&) const = default;
+
+  /// Rank executing group `g` on a machine with `ranks` ranks/channel.
+  unsigned group_rank(std::uint64_t g, unsigned ranks) const {
+    return (rank + static_cast<unsigned>(g % ranks)) % ranks;
+  }
+  /// Row coordinate of group `g`.
+  unsigned group_row(std::uint64_t g, unsigned ranks) const {
+    return first_row + static_cast<unsigned>(g / ranks);
+  }
+
+  /// Column alignment: multi-row activation combines cells on the same
+  /// bitlines, so operands must share the column window.
+  bool column_aligned(const Placement& o) const {
+    return col_stripe == o.col_stripe && stripes == o.stripes;
+  }
+  bool same_subarray(const Placement& o) const {
+    return channel == o.channel && rank == o.rank && subarray == o.subarray;
+  }
+  bool same_rank(const Placement& o) const {
+    return channel == o.channel && rank == o.rank;
+  }
+  /// Row ranges overlap (operands sharing a row cannot be combined).
+  bool rows_overlap(const Placement& o) const {
+    return same_subarray(o) && first_row < o.first_row + o.rows &&
+           o.first_row < first_row + rows;
+  }
+};
+
+enum class AllocPolicy {
+  kPimAware,  ///< co-locate consecutive allocations for intra-subarray ops
+  kNaive,     ///< round-robin scatter (conventional OS page placement)
+};
+
+const char* to_string(AllocPolicy p);
+
+/// Shape of a vector in placement units.
+struct VectorShape {
+  unsigned stripes = 1;
+  std::uint64_t groups = 1;
+  unsigned rows = 1;  ///< rows per rank (multi-group: ceil(groups/ranks))
+};
+
+class RowAllocator {
+ public:
+  RowAllocator(const mem::Geometry& geo, AllocPolicy policy);
+
+  /// Shape a vector of `bits` takes (stripes within a group, group count).
+  VectorShape shape_of(std::uint64_t bits) const;
+
+  /// Allocates a placement; throws when the machine is full or the vector
+  /// exceeds one subarray (groups > rows_per_subarray).
+  Placement allocate(std::uint64_t bits);
+
+  /// Returns a placement's stripes to the free pool.
+  void free(const Placement& p);
+
+  std::uint64_t allocated_vectors() const { return live_; }
+  AllocPolicy policy() const { return policy_; }
+  const mem::Geometry& geometry() const { return geo_; }
+
+  /// Purely arithmetic placement for virtual (capacity-unbounded) timing
+  /// studies: the placement this allocator's policy would give the
+  /// `index`-th same-shape allocation, wrapped modulo the machine.  Used by
+  /// the Pinatubo backend to price traces whose working sets exceed the
+  /// simulated DIMM (the paper's biggest Vector datasets).
+  Placement virtual_placement(std::uint64_t index, std::uint64_t bits) const;
+
+ private:
+  struct Cursor {
+    unsigned channel = 0, rank = 0, subarray = 0;
+    unsigned col = 0;   ///< current column window start
+    unsigned row = 0;   ///< next free row in the window
+    unsigned width = 0; ///< window width the cursor was opened with
+  };
+
+  Placement place_at_cursor(const VectorShape& s, std::uint64_t bits);
+  Placement place_big(const VectorShape& s, std::uint64_t bits);
+  void advance_subarray();
+
+  mem::Geometry geo_;
+  AllocPolicy policy_;
+  Cursor cur_;
+  // Multi-group (rank-mirrored) vectors grow downward from the top
+  // subarray so they never collide with the single-group cursor.
+  unsigned big_subarray_;  ///< next big subarray (exclusive fence)
+  unsigned big_row_ = 0;   ///< next free row in the current big subarray
+  std::uint64_t live_ = 0;
+  std::uint64_t naive_counter_ = 0;
+  // Free lists keyed by (stripes, groups).
+  std::map<std::pair<unsigned, std::uint64_t>, std::vector<Placement>> free_;
+};
+
+}  // namespace pinatubo::core

@@ -1,0 +1,55 @@
+#include "pinatubo/backend.hpp"
+
+#include "common/error.hpp"
+
+namespace pinatubo::core {
+
+PinatuboBackend::PinatuboBackend(const mem::Geometry& geo,
+                                 const PinatuboBackendConfig& cfg)
+    : geo_(geo), cfg_(cfg), alloc_(geo, cfg.policy),
+      sched_(geo, SchedulerConfig{cfg.max_rows, cfg.tech}) {
+  geo_.validate();
+}
+
+std::string PinatuboBackend::name() const {
+  return "Pinatubo-" + std::to_string(sched_.effective_max_rows(BitOp::kOr));
+}
+
+mem::Cost PinatuboBackend::op_cost(BitOp op,
+                                   const std::vector<std::uint64_t>& src_ids,
+                                   std::uint64_t dst_id, std::uint64_t bits,
+                                   bool host_reads_result,
+                                   double result_density) const {
+  std::vector<Placement> srcs;
+  srcs.reserve(src_ids.size());
+  for (const auto id : src_ids)
+    srcs.push_back(alloc_.virtual_placement(id, bits));
+  const Placement dst = alloc_.virtual_placement(dst_id, bits);
+  const OpPlan plan = sched_.plan(op, srcs, dst, host_reads_result);
+  PinatuboCostModel model(geo_, cfg_.tech, result_density);
+  return model.plan_cost(plan);
+}
+
+sim::BackendResult PinatuboBackend::execute(const sim::OpTrace& trace) {
+  PinatuboCostModel model(geo_, cfg_.tech, trace.result_density);
+  classes_ = {};
+  sim::BackendResult result;
+  for (const auto& op : trace.ops) {
+    std::vector<Placement> srcs;
+    srcs.reserve(op.srcs.size());
+    for (const auto id : op.srcs)
+      srcs.push_back(alloc_.virtual_placement(id, op.bits));
+    const Placement dst = alloc_.virtual_placement(op.dst, op.bits);
+    const OpPlan plan = sched_.plan(op.op, srcs, dst, op.host_reads_result);
+    classes_.intra += plan.count(StepKind::kIntraSub);
+    classes_.inter_sub += plan.count(StepKind::kInterSub);
+    classes_.inter_bank += plan.count(StepKind::kInterBank);
+    result.bitwise += model.plan_cost(plan);
+  }
+  // Scalar remainder on the host CPU over PCM.
+  sim::SimdCpuModel host({}, sim::MemKind::kPcm);
+  result.scalar = host.scalar(trace.scalar_ops, trace.scalar_bytes);
+  return result;
+}
+
+}  // namespace pinatubo::core

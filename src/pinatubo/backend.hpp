@@ -1,0 +1,54 @@
+// The Pinatubo timing/energy backend for architecture comparisons.
+//
+// Prices an OpTrace on the Pinatubo hardware without materializing data:
+// logical vector ids map to placements arithmetically (the allocator's
+// virtual_placement), the scheduler classifies each op, and the cost model
+// prices the plan.  This lets the Fig. 9-12 benches sweep working sets far
+// bigger than the simulated DIMM, as the paper's datasets are.
+//
+// `max_rows` selects the paper's Pinatubo-2 / Pinatubo-128 configurations;
+// the technology margin (CSA reference analysis) can only lower it.
+#pragma once
+
+#include "pinatubo/allocator.hpp"
+#include "pinatubo/cost_model.hpp"
+#include "pinatubo/scheduler.hpp"
+#include "sim/backend.hpp"
+#include "sim/cpu_model.hpp"
+
+namespace pinatubo::core {
+
+struct PinatuboBackendConfig {
+  nvm::Tech tech = nvm::Tech::kPcm;
+  unsigned max_rows = 128;
+  AllocPolicy policy = AllocPolicy::kPimAware;
+};
+
+class PinatuboBackend final : public sim::Backend {
+ public:
+  explicit PinatuboBackend(const mem::Geometry& geo = {},
+                           const PinatuboBackendConfig& cfg = {});
+
+  std::string name() const override;
+  sim::BackendResult execute(const sim::OpTrace& trace) override;
+
+  /// Step-class counts of the last executed trace (workload analysis).
+  struct ClassCounts {
+    std::uint64_t intra = 0, inter_sub = 0, inter_bank = 0;
+  };
+  const ClassCounts& last_class_counts() const { return classes_; }
+
+  /// Cost of a single op given operand/destination indices (benches).
+  mem::Cost op_cost(BitOp op, const std::vector<std::uint64_t>& src_ids,
+                    std::uint64_t dst_id, std::uint64_t bits,
+                    bool host_reads_result, double result_density) const;
+
+ private:
+  mem::Geometry geo_;
+  PinatuboBackendConfig cfg_;
+  RowAllocator alloc_;
+  OpScheduler sched_;
+  ClassCounts classes_;
+};
+
+}  // namespace pinatubo::core

@@ -1,0 +1,211 @@
+#include "pinatubo/cost_model.hpp"
+
+#include "common/error.hpp"
+
+namespace pinatubo::core {
+
+PinatuboCostModel::PinatuboCostModel(const mem::Geometry& geo, nvm::Tech tech,
+                                     double result_density)
+    : geo_(geo), tech_(tech), timing_(mem::pcm_timing()),
+      bus_(mem::ddr3_1600_bus()), energy_(nvm::cell_params(tech)),
+      result_density_(result_density) {
+  geo_.validate();
+  PIN_CHECK(result_density >= 0.0 && result_density <= 1.0);
+}
+
+std::uint64_t PinatuboCostModel::sensed_bits(const PlanStep& s) const {
+  return static_cast<std::uint64_t>(s.col_steps) * geo_.sense_step_bits();
+}
+
+double PinatuboCostModel::stream_ns(unsigned cols) const {
+  // Bits per chip per bank for one column stripe, over the GDL width.
+  const double bits_per_chip_bank =
+      static_cast<double>(geo_.sense_step_bits()) /
+      (geo_.banks_per_chip * geo_.chips_per_rank);
+  const double beats = bits_per_chip_bank / path_.gdl_beat_bits;
+  return static_cast<double>(cols) * beats * path_.gdl_clk_ns;
+}
+
+std::uint64_t PinatuboCostModel::command_count(const PlanStep& s) const {
+  // PIM commands broadcast to all banks of the rank (the lock-step bank
+  // cluster shares row coordinates), so the command count is independent
+  // of the bank count — without this the command bus would cap multi-row
+  // ops far below the paper's Fig. 9 ceiling.
+  switch (s.kind) {
+    case StepKind::kIntraSub:
+      // MRS, RESET, one ACT per opened row, one strobe per sense step, WB.
+      return 1 + 1 + s.rows + s.col_steps + (s.writeback ? 1 : 0);
+    case StepKind::kInterSub:
+    case StepKind::kInterBank:
+      // MRS, one read per operand row, logic strobe, writeback.
+      return 1 + s.rows + 1 + (s.writeback ? 1 : 0);
+    case StepKind::kHostRead:
+      // Column read bursts: one per stripe per bank (real data moves).
+      return static_cast<std::uint64_t>(geo_.banks_per_chip) * s.col_steps;
+  }
+  PIN_UNREACHABLE("bad StepKind");
+}
+
+mem::Cost PinatuboCostModel::step_cost(const PlanStep& s) const {
+  PIN_CHECK(s.bits > 0);
+  PIN_CHECK(s.col_steps >= 1);
+  mem::Cost cost;
+  const double t_cmds =
+      static_cast<double>(command_count(s)) * bus_.cmd_slot_ns;
+  const std::uint64_t hw_bits = sensed_bits(s);
+  const double width = static_cast<double>(hw_bits);
+  const double ones = width * result_density_;
+  const double zeros = width - ones;
+  cost.energy.add("ctrl.cmd",
+                  static_cast<double>(command_count(s)) * energy_.command_pj());
+
+  switch (s.kind) {
+    case StepKind::kIntraSub: {
+      // Sensing: tRCD covers activation + the first column step.
+      double t = t_cmds + timing_.t_rcd_ns +
+                 (s.col_steps - 1) * timing_.t_cl_ns;
+      if (s.writeback) t += timing_.t_wr_ns;
+      cost.time_ns = t;
+      // Wordline energy: every opened row slice in every bank and chip.
+      const double slices = static_cast<double>(s.rows) *
+                            geo_.banks_per_chip * geo_.chips_per_rank;
+      cost.energy.add("pim.activate", slices * energy_.activate_row_pj());
+      cost.energy.add("pim.sense",
+                      energy_.sense_pj(hw_bits, s.rows, timing_.t_cl_ns));
+      if (s.writeback)
+        cost.energy.add("pim.write",
+                        energy_.write_pj(static_cast<std::uint64_t>(ones),
+                                         static_cast<std::uint64_t>(zeros)));
+      return cost;
+    }
+    case StepKind::kInterSub:
+    case StepKind::kInterBank: {
+      const double stream = stream_ns(s.col_steps);
+      double t = t_cmds + 2.0 * (timing_.t_rcd_ns + stream) +
+                 (s.writeback ? timing_.t_wr_ns + stream : 0.0);
+      // Reads: sensing + GDL + buffer latch for both operands.
+      const double read_pj_bit =
+          energy_.sense_pj(1, 1, timing_.t_cl_ns) + path_.gdl_pj_per_bit +
+          path_.latch_pj_per_bit;
+      cost.energy.add("pim.buffer.read", 2.0 * width * read_pj_bit);
+      cost.energy.add("pim.buffer.logic", width * path_.logic_pj_per_bit);
+      if (s.writeback) {
+        cost.energy.add("pim.write",
+                        energy_.write_pj(static_cast<std::uint64_t>(ones),
+                                         static_cast<std::uint64_t>(zeros)));
+        cost.energy.add("pim.buffer.wb", width * path_.gdl_pj_per_bit);
+      }
+      if (s.kind == StepKind::kInterBank && s.crosses_rank) {
+        // One operand hops over the DDR bus between ranks.
+        t += width / 8.0 / bus_.data_gbps;
+        cost.energy.add("bus.io", energy_.io_pj(hw_bits));
+      }
+      cost.time_ns = t;
+      return cost;
+    }
+    case StepKind::kHostRead: {
+      // Result already latched; burst it to the CPU.
+      const double bytes = static_cast<double>(s.bits) / 8.0;
+      cost.time_ns = t_cmds + bytes / bus_.data_gbps;
+      cost.energy.add("bus.io", energy_.io_pj(s.bits));
+      return cost;
+    }
+  }
+  PIN_UNREACHABLE("bad StepKind");
+}
+
+mem::Cost PinatuboCostModel::plan_cost(const OpPlan& plan) const {
+  mem::Cost total;
+  for (const auto& s : plan.steps) total += step_cost(s);
+  return total;
+}
+
+mem::Cost PinatuboCostModel::pipelined_cost(
+    const std::vector<OpPlan>& plans) const {
+  // One resource per rank (the lock-step bank cluster executing a step)
+  // plus the shared command bus inside ChannelTimer.
+  const unsigned ranks = geo_.channels * geo_.ranks_per_channel;
+  mem::ChannelTimer timer(ranks, bus_);
+  mem::Cost total;
+  for (const auto& plan : plans) {
+    double prev_done = 0.0;
+    for (const auto& s : plan.steps) {
+      const mem::Cost c = step_cost(s);
+      total.energy.merge(c.energy);
+      const unsigned rank = s.channel * geo_.ranks_per_channel + s.rank;
+      // One timer event per step: its full duration (which already
+      // includes the step's own command slots) occupies the executing
+      // rank; the shared command bus charges one slot per step for
+      // cross-rank contention (the rest of the slots are inside the
+      // occupancy).  Data dependencies within a plan order its steps.
+      prev_done = timer.issue_after(rank, prev_done, c.time_ns);
+    }
+  }
+  total.time_ns = timer.finish_ns();
+  return total;
+}
+
+std::vector<mem::Command> PinatuboCostModel::lower(const OpPlan& plan) const {
+  // Command encoding (bank 0 stands for the broadcast lock-step cluster):
+  //   ACT        addr = operand row,   aux = activation index
+  //   PIM_SENSE  addr = dst row,       aux = ABSOLUTE column stripe
+  //   PIM_LOAD   addr = operand row,   aux = slot | (operand col << 8)
+  //   RD         addr = result row,    aux = column stripe (host bursts)
+  //   PIM_GDL/IO addr = dst row,       aux = col_start | (col_steps << 8)
+  //   PIM_WB     addr = dst row,       aux = col_start | (col_steps << 8)
+  std::vector<mem::Command> cmds;
+  for (const auto& s : plan.steps) {
+    mem::RowAddr base;
+    base.channel = s.channel;
+    base.rank = s.rank;
+    base.subarray = s.subarray;
+    base.row = s.row % geo_.rows_per_subarray;
+    const std::uint32_t window =
+        s.col_start | (static_cast<std::uint32_t>(s.col_steps) << 8);
+    switch (s.kind) {
+      case StepKind::kIntraSub: {
+        cmds.push_back({mem::CmdKind::kModeSet, base, s.op, 0});
+        cmds.push_back({mem::CmdKind::kPimReset, base, s.op, 0});
+        for (std::uint32_t r = 0; r < s.reads.size(); ++r)
+          cmds.push_back({mem::CmdKind::kAct, s.reads[r], s.op, r});
+        for (unsigned c = 0; c < s.col_steps; ++c)
+          cmds.push_back({mem::CmdKind::kPimSense, base, s.op,
+                          s.col_start + c});
+        if (s.writeback)
+          cmds.push_back({mem::CmdKind::kPimWriteback, s.write, s.op,
+                          window});
+        break;
+      }
+      case StepKind::kInterSub:
+      case StepKind::kInterBank: {
+        const auto kind = s.kind == StepKind::kInterSub
+                              ? mem::CmdKind::kPimGdlOp
+                              : mem::CmdKind::kPimIoOp;
+        cmds.push_back({mem::CmdKind::kModeSet, base, s.op, 0});
+        for (std::uint32_t r = 0; r < s.reads.size(); ++r) {
+          const std::uint32_t col =
+              r < s.read_cols.size() ? s.read_cols[r] : s.col_start;
+          cmds.push_back({mem::CmdKind::kPimLoad, s.reads[r], s.op,
+                          r | (col << 8)});
+        }
+        cmds.push_back({kind, base, s.op, window});
+        if (s.writeback)
+          cmds.push_back({mem::CmdKind::kPimWriteback, s.write, s.op,
+                          window});
+        break;
+      }
+      case StepKind::kHostRead: {
+        for (unsigned b = 0; b < geo_.banks_per_chip; ++b)
+          for (unsigned c = 0; c < s.col_steps; ++c) {
+            mem::RowAddr a = s.reads.empty() ? base : s.reads[0];
+            a.bank = b;
+            cmds.push_back({mem::CmdKind::kRead, a, s.op, s.col_start + c});
+          }
+        break;
+      }
+    }
+  }
+  return cmds;
+}
+
+}  // namespace pinatubo::core

@@ -1,0 +1,76 @@
+// Prices execution plans on the Pinatubo hardware and lowers them to DDR
+// command sequences (paper §5's "extended instructions are translated to
+// DDR commands").
+//
+// Timing model per step (banks and chips of the executing rank operate in
+// lock-step *inside* a step; steps execute serially, as the synchronous
+// driver issues them):
+//
+//   intra-sub:  [MRS] [RESET]xB [ACT]xrowsxB [SENSE]xcolsxB [WB]xB on the
+//               command bus, then tRCD + (cols-1)*tCL sensing and tWR
+//               write recovery in the banks;
+//   inter-sub:  two row reads streamed through the per-bank GDL into the
+//               global row buffer logic, result written back;
+//   inter-bank: the same through the IO buffer, plus a DDR bus hop when
+//               the operands live in different ranks;
+//   host-read:  result burst over the DDR bus to the CPU.
+//
+// Energy uses the NVM array model (activation, analog sensing, SET/RESET
+// writes) plus the shared buffer-path constants (GDL, logic, latch) and
+// the off-chip I/O energy for anything that crosses the bus.
+#pragma once
+
+#include "mem/cmd_timer.hpp"
+#include "mem/energy.hpp"
+#include "mem/commands.hpp"
+#include "mem/geometry.hpp"
+#include "mem/timing.hpp"
+#include "nvm/energy_model.hpp"
+#include "pinatubo/plan.hpp"
+#include "sim/pim_params.hpp"
+
+namespace pinatubo::core {
+
+class PinatuboCostModel {
+ public:
+  PinatuboCostModel(const mem::Geometry& geo, nvm::Tech tech,
+                    double result_density = 0.5);
+
+  /// Cost of one step (steps are serial, so plan cost is the sum).
+  mem::Cost step_cost(const PlanStep& step) const;
+  /// Cost of a full plan.
+  mem::Cost plan_cost(const OpPlan& plan) const;
+
+  /// Extension study (not in the paper): a pipelining controller that
+  /// keeps the synchronous driver's per-plan step order but overlaps
+  /// steps of DIFFERENT plans when they execute on different ranks,
+  /// serializing only on the shared command bus.  Returns the makespan
+  /// and total energy (energy is schedule-invariant).
+  mem::Cost pipelined_cost(const std::vector<OpPlan>& plans) const;
+
+  /// Lowers a plan into the DDR command stream the driver would issue.
+  std::vector<mem::Command> lower(const OpPlan& plan) const;
+
+  /// Commands a step occupies on the bus (used by timing and by tests).
+  std::uint64_t command_count(const PlanStep& step) const;
+
+  const mem::Geometry& geometry() const { return geo_; }
+  nvm::Tech tech() const { return tech_; }
+
+ private:
+  /// Bits the hardware actually senses/moves for a step (whole column
+  /// stripes, even when the logical vector only fills part of one).
+  std::uint64_t sensed_bits(const PlanStep& s) const;
+  /// Per-bank GDL streaming time for `cols` column stripes.
+  double stream_ns(unsigned cols) const;
+
+  mem::Geometry geo_;
+  nvm::Tech tech_;
+  mem::TimingParams timing_;
+  mem::BusParams bus_;
+  sim::BufferPathParams path_;
+  nvm::ArrayEnergyModel energy_;
+  double result_density_;
+};
+
+}  // namespace pinatubo::core

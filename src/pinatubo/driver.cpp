@@ -1,0 +1,266 @@
+#include "pinatubo/driver.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pinatubo::core {
+
+PimRuntime::PimRuntime(const mem::Geometry& geo)
+    : PimRuntime(geo, Options{}) {}
+
+PimRuntime::PimRuntime(const mem::Geometry& geo, const Options& opts)
+    : opts_(opts), mem_(geo, opts.tech, opts.fidelity, opts.seed),
+      alloc_(geo, opts.policy),
+      sched_(geo, SchedulerConfig{opts.max_rows, opts.tech}),
+      cost_model_(geo, opts.tech, opts.result_density) {}
+
+PimRuntime::Handle PimRuntime::pim_malloc(std::uint64_t bits) {
+  const Placement p = alloc_.allocate(bits);
+  const Handle h = next_handle_++;
+  vectors_.emplace(h, p);
+  return h;
+}
+
+void PimRuntime::pim_free(Handle h) {
+  const auto it = vectors_.find(h);
+  PIN_CHECK_MSG(it != vectors_.end(), "bad handle " << h);
+  alloc_.free(it->second);
+  vectors_.erase(it);
+}
+
+const Placement& PimRuntime::placement(Handle h) const {
+  const auto it = vectors_.find(h);
+  PIN_CHECK_MSG(it != vectors_.end(), "bad handle " << h);
+  return it->second;
+}
+
+PimRuntime::RowBit PimRuntime::locate(const Placement& p,
+                                      std::uint64_t q) const {
+  const auto& g = mem_.geometry();
+  const std::uint64_t step = g.sense_step_bits();
+  const std::uint64_t bank_share = step / g.banks_per_chip;
+  const std::uint64_t stripe_local = q / step;
+  const std::uint64_t within = q % step;
+  RowBit rb;
+  rb.bank = static_cast<unsigned>(within / bank_share);
+  rb.bit = static_cast<std::size_t>(
+      (p.col_stripe + stripe_local) * bank_share + within % bank_share);
+  return rb;
+}
+
+void PimRuntime::scatter(const Placement& p, const BitVector& v) {
+  const auto& g = mem_.geometry();
+  const std::uint64_t group_bits =
+      static_cast<std::uint64_t>(p.stripes) * g.sense_step_bits();
+  // Stage per-(group, bank) rows, then write once.
+  for (std::uint64_t grp = 0; grp < p.groups; ++grp) {
+    std::vector<BitVector> bank_rows;
+    std::vector<bool> touched(g.banks_per_chip, false);
+    bank_rows.reserve(g.banks_per_chip);
+    const unsigned rk = p.group_rank(grp, g.ranks_per_channel);
+    const unsigned row = p.group_row(grp, g.ranks_per_channel);
+    for (unsigned b = 0; b < g.banks_per_chip; ++b) {
+      mem::RowAddr a{p.channel, rk, b, p.subarray, row};
+      bank_rows.push_back(mem_.read_row(a));
+    }
+    const std::uint64_t base = grp * group_bits;
+    const std::uint64_t count = std::min<std::uint64_t>(
+        group_bits, v.size() > base ? v.size() - base : 0);
+    for (std::uint64_t q = 0; q < count; ++q) {
+      const RowBit rb = locate(p, q);
+      bank_rows[rb.bank].set(rb.bit, v.get(base + q));
+      touched[rb.bank] = true;
+    }
+    for (unsigned b = 0; b < g.banks_per_chip; ++b) {
+      if (!touched[b]) continue;
+      mem::RowAddr a{p.channel, rk, b, p.subarray, row};
+      mem_.write_row(a, bank_rows[b]);
+    }
+  }
+}
+
+BitVector PimRuntime::gather(const Placement& p) const {
+  const auto& g = mem_.geometry();
+  const std::uint64_t group_bits =
+      static_cast<std::uint64_t>(p.stripes) * g.sense_step_bits();
+  BitVector v(p.bits);
+  for (std::uint64_t grp = 0; grp < p.groups; ++grp) {
+    std::vector<BitVector> bank_rows;
+    bank_rows.reserve(g.banks_per_chip);
+    const unsigned rk = p.group_rank(grp, g.ranks_per_channel);
+    const unsigned row = p.group_row(grp, g.ranks_per_channel);
+    for (unsigned b = 0; b < g.banks_per_chip; ++b) {
+      mem::RowAddr a{p.channel, rk, b, p.subarray, row};
+      bank_rows.push_back(mem_.read_row(a));
+    }
+    const std::uint64_t base = grp * group_bits;
+    const std::uint64_t count = std::min<std::uint64_t>(
+        group_bits, v.size() > base ? v.size() - base : 0);
+    for (std::uint64_t q = 0; q < count; ++q) {
+      const RowBit rb = locate(p, q);
+      if (bank_rows[rb.bank].get(rb.bit)) v.set(base + q);
+    }
+  }
+  return v;
+}
+
+void PimRuntime::pim_write(Handle h, const BitVector& data) {
+  const Placement& p = placement(h);
+  PIN_CHECK_MSG(data.size() == p.bits,
+                "vector is " << p.bits << " bits, got " << data.size());
+  scatter(p, data);
+}
+
+BitVector PimRuntime::pim_read(Handle h) const { return gather(placement(h)); }
+
+void PimRuntime::execute_intra(BitOp op, const std::vector<Placement>& srcs_in,
+                               const Placement& dst, unsigned max_rows) {
+  // In-place operations (dst also a source) must consume the dst operand in
+  // the FIRST activation — later chain steps reuse the dst row as the
+  // accumulator and would otherwise read the overwritten value.  All
+  // chained ops here are commutative, so reordering is sound.
+  std::vector<Placement> srcs = srcs_in;
+  std::stable_partition(srcs.begin(), srcs.end(), [&](const Placement& p) {
+    return p.same_subarray(dst) && p.first_row == dst.first_row &&
+           p.column_aligned(dst);
+  });
+  const auto& g = mem_.geometry();
+  const std::uint64_t bank_share = g.sense_step_bits() / g.banks_per_chip;
+  const std::size_t win_lo = dst.col_stripe * bank_share;
+  const std::size_t win_len = dst.stripes * bank_share;
+
+  for (std::uint64_t grp = 0; grp < dst.groups; ++grp) {
+    for (unsigned b = 0; b < g.banks_per_chip; ++b) {
+      auto row_of = [&](const Placement& p) {
+        return mem::RowAddr{p.channel, p.group_rank(grp, g.ranks_per_channel),
+                            b, p.subarray,
+                            p.group_row(grp, g.ranks_per_channel)};
+      };
+      auto write_window = [&](const BitVector& full_row) {
+        BitVector window(win_len);
+        for (std::size_t i = 0; i < win_len; ++i)
+          if (full_row.get(win_lo + i)) window.set(i);
+        mem_.write_row_partial(row_of(dst), win_lo, window);
+      };
+      if (op == BitOp::kInv) {
+        write_window(mem_.sense_rows({row_of(srcs[0])}, BitOp::kInv));
+        continue;
+      }
+      const auto n = static_cast<unsigned>(srcs.size());
+      unsigned consumed = std::min(max_rows, n);
+      std::vector<mem::RowAddr> rows;
+      for (unsigned i = 0; i < consumed; ++i) rows.push_back(row_of(srcs[i]));
+      write_window(mem_.sense_rows(rows, op));
+      while (consumed < n) {
+        const unsigned k = std::min(max_rows, n - consumed + 1);
+        rows.clear();
+        rows.push_back(row_of(dst));  // accumulator
+        for (unsigned i = 0; i + 1 < k; ++i)
+          rows.push_back(row_of(srcs[consumed + i]));
+        write_window(mem_.sense_rows(rows, op));
+        consumed += k - 1;
+      }
+    }
+  }
+}
+
+void PimRuntime::pim_op(BitOp op, const std::vector<Handle>& srcs, Handle dst,
+                        bool host_reads_result) {
+  std::vector<Placement> src_p;
+  src_p.reserve(srcs.size());
+  for (const Handle h : srcs) src_p.push_back(placement(h));
+  const Placement& dst_p = placement(dst);
+
+  const OpPlan plan = sched_.plan(op, src_p, dst_p, host_reads_result);
+
+  // Cost + stats + (optional) command stream.
+  cost_ += cost_model_.plan_cost(plan);
+  ++stats_.ops;
+  stats_.intra_steps += plan.count(StepKind::kIntraSub);
+  stats_.inter_sub_steps += plan.count(StepKind::kInterSub);
+  stats_.inter_bank_steps += plan.count(StepKind::kInterBank);
+  stats_.host_reads += plan.count(StepKind::kHostRead);
+  if (opts_.record_commands) {
+    auto cmds = cost_model_.lower(plan);
+    commands_.insert(commands_.end(), cmds.begin(), cmds.end());
+  }
+
+  // Functional execution.
+  const bool intra = plan.count(StepKind::kIntraSub) > 0;
+  if (intra) {
+    execute_intra(op, src_p, dst_p, sched_.effective_max_rows(op));
+  } else {
+    // Buffer paths compute exactly in digital logic.
+    std::vector<BitVector> operands;
+    operands.reserve(src_p.size());
+    for (const auto& p : src_p) operands.push_back(gather(p));
+    std::vector<const BitVector*> ptrs;
+    for (const auto& v : operands) ptrs.push_back(&v);
+    scatter(dst_p, BitVector::reduce(op, ptrs));
+  }
+}
+
+void PimRuntime::pim_copy(Handle src, Handle dst) {
+  const Placement& src_p = placement(src);
+  const Placement& dst_p = placement(dst);
+  PIN_CHECK_MSG(src_p.bits == dst_p.bits, "copy length mismatch");
+  // A copy is a 1-row sense feeding the WDs: price it as an INV plan
+  // (identical datapath; the differential output tap is free) and execute
+  // the straight copy functionally.
+  const OpPlan plan = sched_.plan(BitOp::kInv, {src_p}, dst_p, false);
+  cost_ += cost_model_.plan_cost(plan);
+  ++stats_.ops;
+  stats_.intra_steps += plan.count(StepKind::kIntraSub);
+  stats_.inter_sub_steps += plan.count(StepKind::kInterSub);
+  stats_.inter_bank_steps += plan.count(StepKind::kInterBank);
+  scatter(dst_p, gather(src_p));
+}
+
+void PimRuntime::pim_op_batch(const std::vector<BatchOp>& ops) {
+  std::vector<OpPlan> plans;
+  plans.reserve(ops.size());
+  for (const auto& o : ops) {
+    std::vector<Placement> src_p;
+    for (const Handle h : o.srcs) src_p.push_back(placement(h));
+    plans.push_back(sched_.plan(o.op, src_p, placement(o.dst), false));
+  }
+  // Pipelined pricing over the whole batch...
+  cost_ += cost_model_.pipelined_cost(plans);
+  // ...then in-order functional execution (results are order-identical
+  // because the pipeline respects each op's internal dependencies and
+  // callers are responsible for inter-op independence, as with any
+  // asynchronous submission API).
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const auto& o = ops[i];
+    ++stats_.ops;
+    stats_.intra_steps += plans[i].count(StepKind::kIntraSub);
+    stats_.inter_sub_steps += plans[i].count(StepKind::kInterSub);
+    stats_.inter_bank_steps += plans[i].count(StepKind::kInterBank);
+    if (opts_.record_commands) {
+      auto cmds = cost_model_.lower(plans[i]);
+      commands_.insert(commands_.end(), cmds.begin(), cmds.end());
+    }
+    std::vector<Placement> src_p;
+    for (const Handle h : o.srcs) src_p.push_back(placement(h));
+    const bool intra = plans[i].count(StepKind::kIntraSub) > 0;
+    if (intra) {
+      execute_intra(o.op, src_p, placement(o.dst),
+                    sched_.effective_max_rows(o.op));
+    } else {
+      std::vector<BitVector> operands;
+      for (const auto& p : src_p) operands.push_back(gather(p));
+      std::vector<const BitVector*> ptrs;
+      for (const auto& v : operands) ptrs.push_back(&v);
+      scatter(placement(o.dst), BitVector::reduce(o.op, ptrs));
+    }
+  }
+}
+
+void PimRuntime::reset_cost() {
+  cost_ = {};
+  stats_ = {};
+  commands_.clear();
+}
+
+}  // namespace pinatubo::core

@@ -1,0 +1,126 @@
+// The Pinatubo driver library — the programmer-facing API of paper Fig. 4:
+//
+//   pim_malloc(bits)                 -> Handle
+//   pim_op(op, {srcs...}, dst)       -> executes in memory
+//
+// plus data movement (pim_write / pim_read) and teardown (pim_free).
+//
+// This runtime is FUNCTIONAL and COSTED at once: every pim_op
+//   1. is lowered by the scheduler into an execution plan,
+//   2. is executed against the simulated NVM array *through the sensing
+//      models* (multi-row activation really combines the stored rows), and
+//   3. accrues the plan's time/energy and optionally the lowered DDR
+//      command stream.
+// Examples use it as the library a real system would ship; tests assert
+// both the results and the op classification.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bitvec/bitvector.hpp"
+#include "mem/mainmem.hpp"
+#include "pinatubo/allocator.hpp"
+#include "pinatubo/cost_model.hpp"
+#include "pinatubo/scheduler.hpp"
+
+namespace pinatubo::core {
+
+class PimRuntime {
+ public:
+  using Handle = std::uint64_t;
+
+  struct Options {
+    nvm::Tech tech = nvm::Tech::kPcm;
+    mem::SenseFidelity fidelity = mem::SenseFidelity::kNominal;
+    AllocPolicy policy = AllocPolicy::kPimAware;
+    unsigned max_rows = 128;        ///< Pinatubo-2 vs Pinatubo-128
+    double result_density = 0.5;    ///< SET/RESET mix for write energy
+    bool record_commands = false;   ///< keep the lowered DDR stream
+    std::uint64_t seed = 1;
+  };
+
+  struct Stats {
+    std::uint64_t ops = 0;
+    std::uint64_t intra_steps = 0;
+    std::uint64_t inter_sub_steps = 0;
+    std::uint64_t inter_bank_steps = 0;
+    std::uint64_t host_reads = 0;
+  };
+
+  explicit PimRuntime(const mem::Geometry& geo = {});
+  PimRuntime(const mem::Geometry& geo, const Options& opts);
+
+  /// Allocates a bit-vector in PIM-friendly rows.
+  Handle pim_malloc(std::uint64_t bits);
+  void pim_free(Handle h);
+
+  /// Host -> memory data load (not counted in op cost, like the paper).
+  void pim_write(Handle h, const BitVector& data);
+  /// Memory -> host read of a whole vector.
+  BitVector pim_read(Handle h) const;
+
+  /// Executes `dst = op(srcs...)` in memory.  `host_reads_result` adds the
+  /// result's bus transfer to the cost (e.g. the CPU popcounts it next).
+  void pim_op(BitOp op, const std::vector<Handle>& srcs, Handle dst,
+              bool host_reads_result = false);
+
+  /// Row-granular copy (`dst = src`), the RowClone-style primitive the WD
+  /// bypass enables: sense the source row, feed the SAs straight to the
+  /// destination's write drivers.  Costs one 1-row intra step when the
+  /// vectors are co-located, a buffer move otherwise.
+  void pim_copy(Handle src, Handle dst);
+
+  /// Batched submission: all ops are planned first, then priced under the
+  /// pipelining controller (independent ops on different ranks overlap;
+  /// see PinatuboCostModel::pipelined_cost).  Functionally identical to
+  /// issuing the ops in order.
+  struct BatchOp {
+    BitOp op;
+    std::vector<Handle> srcs;
+    Handle dst;
+  };
+  void pim_op_batch(const std::vector<BatchOp>& ops);
+
+  const Placement& placement(Handle h) const;
+  std::uint64_t vector_bits(Handle h) const { return placement(h).bits; }
+
+  /// Accumulated cost of every pim_op so far.
+  const mem::Cost& cost() const { return cost_; }
+  const Stats& stats() const { return stats_; }
+  const std::vector<mem::Command>& commands() const { return commands_; }
+  void reset_cost();
+
+  const mem::Geometry& geometry() const { return mem_.geometry(); }
+  const Options& options() const { return opts_; }
+  mem::MainMemory& memory() { return mem_; }
+
+ private:
+  /// Scatters a logical vector into its placement's rows / column window.
+  void scatter(const Placement& p, const BitVector& v);
+  /// Gathers the logical vector back out of the rows.
+  BitVector gather(const Placement& p) const;
+  /// Bit-position mapping: logical bit q of group g -> (bank, row bit).
+  struct RowBit {
+    unsigned bank;
+    std::size_t bit;
+  };
+  RowBit locate(const Placement& p, std::uint64_t in_group_offset) const;
+  /// Executes an intra-subarray chained sense per the plan semantics.
+  void execute_intra(BitOp op, const std::vector<Placement>& srcs,
+                     const Placement& dst, unsigned max_rows);
+
+  Options opts_;
+  mem::MainMemory mem_;
+  RowAllocator alloc_;
+  OpScheduler sched_;
+  PinatuboCostModel cost_model_;
+  std::unordered_map<Handle, Placement> vectors_;
+  Handle next_handle_ = 1;
+  mem::Cost cost_;
+  Stats stats_;
+  std::vector<mem::Command> commands_;
+};
+
+}  // namespace pinatubo::core

@@ -1,0 +1,180 @@
+#include "pinatubo/replay.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pinatubo::core {
+
+CommandReplayer::CommandReplayer(mem::MainMemory& memory) : mem_(memory) {}
+
+CommandReplayer::RankState& CommandReplayer::state_of(const mem::RowAddr& a) {
+  return ranks_[{a.channel, a.rank}];
+}
+
+void CommandReplayer::write_stripes(const mem::RowAddr& dst,
+                                    const std::vector<BitVector>& rows,
+                                    const std::vector<unsigned>& stripes) {
+  const auto& g = mem_.geometry();
+  const std::size_t bank_share = g.sense_step_bits() / g.banks_per_chip;
+  PIN_CHECK_MSG(rows.size() == g.banks_per_chip,
+                "writeback needs one latched row per bank");
+  for (unsigned b = 0; b < g.banks_per_chip; ++b) {
+    mem::RowAddr a = dst;
+    a.bank = b;
+    for (const unsigned stripe : stripes) {
+      const std::size_t lo = stripe * bank_share;
+      BitVector window(bank_share);
+      for (std::size_t i = 0; i < bank_share; ++i)
+        if (rows[b].get(lo + i)) window.set(i);
+      mem_.write_row_partial(a, lo, window);
+    }
+  }
+}
+
+void CommandReplayer::execute(const mem::Command& cmd) {
+  ++stats_.commands;
+  const auto& g = mem_.geometry();
+  auto& rank = state_of(cmd.addr);
+
+  switch (cmd.kind) {
+    case mem::CmdKind::kModeSet: {
+      mode_ = cmd.op;
+      rank.sa_latch.clear();
+      rank.sensed_stripes.clear();
+      rank.buffer.clear();
+      rank.buffer_result.clear();
+      return;
+    }
+    case mem::CmdKind::kPimReset: {
+      const SubarrayKey key{cmd.addr.channel, cmd.addr.rank,
+                            cmd.addr.subarray};
+      auto it = lwl_.find(key);
+      if (it == lwl_.end())
+        it = lwl_.emplace(key,
+                          circuit::LwlDriverArray(g.rows_per_subarray)).first;
+      it->second.reset();
+      rank.open_subarray = key;
+      rank.open_rows.clear();
+      return;
+    }
+    case mem::CmdKind::kAct: {
+      ++stats_.activations;
+      const SubarrayKey key{cmd.addr.channel, cmd.addr.rank,
+                            cmd.addr.subarray};
+      PIN_CHECK_MSG(rank.open_subarray && !(key < *rank.open_subarray) &&
+                        !(*rank.open_subarray < key),
+                    "multi-row ACT without PIM_RESET on that subarray");
+      auto& drivers = lwl_.at(key);
+      if (!drivers.is_active(cmd.addr.row)) {
+        drivers.decode(cmd.addr.row);
+        mem::RowAddr a = cmd.addr;
+        a.bank = 0;
+        rank.open_rows.push_back(a);
+      }
+      return;
+    }
+    case mem::CmdKind::kPimSense: {
+      ++stats_.sense_steps;
+      PIN_CHECK_MSG(!rank.open_rows.empty(), "PIM_SENSE with no open rows");
+      if (rank.sa_latch.empty()) {
+        // The SAs resolve all banks in lock-step; compute per bank once,
+        // subsequent sense commands add column stripes to the latch set.
+        rank.sa_latch.reserve(g.banks_per_chip);
+        for (unsigned b = 0; b < g.banks_per_chip; ++b) {
+          std::vector<mem::RowAddr> rows = rank.open_rows;
+          for (auto& r : rows) r.bank = b;
+          rank.sa_latch.push_back(mem_.sense_rows(rows, mode_));
+        }
+      }
+      rank.sensed_stripes.push_back(cmd.aux);
+      return;
+    }
+    case mem::CmdKind::kPimLoad: {
+      // Buffer-path row read into slot aux&0xff (broadcast across banks);
+      // the operand's column window starts at stripe aux>>8.
+      const auto slot = cmd.aux & 0xff;
+      PIN_CHECK_MSG(slot < 4, "buffer slot out of range");
+      if (rank.buffer.size() <= slot) rank.buffer.resize(slot + 1);
+      rank.buffer[slot].rows.clear();
+      rank.buffer[slot].col = cmd.aux >> 8;
+      for (unsigned b = 0; b < g.banks_per_chip; ++b) {
+        mem::RowAddr a = cmd.addr;
+        a.bank = b;
+        rank.buffer[slot].rows.push_back(mem_.read_row(a));
+      }
+      return;
+    }
+    case mem::CmdKind::kPimGdlOp:
+    case mem::CmdKind::kPimIoOp: {
+      ++stats_.buffer_ops;
+      PIN_CHECK_MSG(!rank.buffer.empty() && !rank.buffer[0].rows.empty(),
+                    "buffer op with empty buffer");
+      // The datapath's alignment shifter maps each operand's column window
+      // onto the destination's (aux = dst col_start | cols << 8).
+      const unsigned dst_col = cmd.aux & 0xff;
+      const unsigned cols = cmd.aux >> 8;
+      const std::size_t bank_share =
+          g.sense_step_bits() / g.banks_per_chip;
+      auto shifted = [&](const RankState::BufferSlot& slot, unsigned bank) {
+        BitVector out(g.rank_row_bits());
+        const std::ptrdiff_t delta =
+            (static_cast<std::ptrdiff_t>(dst_col) - slot.col) *
+            static_cast<std::ptrdiff_t>(bank_share);
+        for (unsigned c = 0; c < cols; ++c) {
+          const std::size_t src_lo = (slot.col + c) * bank_share;
+          for (std::size_t i = 0; i < bank_share; ++i)
+            if (slot.rows[bank].get(src_lo + i))
+              out.set(static_cast<std::size_t>(
+                  static_cast<std::ptrdiff_t>(src_lo + i) + delta));
+        }
+        return out;
+      };
+      rank.buffer_result.clear();
+      for (unsigned b = 0; b < g.banks_per_chip; ++b) {
+        if (mode_ == BitOp::kInv) {
+          rank.buffer_result.push_back(~shifted(rank.buffer[0], b));
+        } else {
+          PIN_CHECK_MSG(rank.buffer.size() >= 2 &&
+                            !rank.buffer[1].rows.empty(),
+                        "binary buffer op needs two latched rows");
+          rank.buffer_result.push_back(apply(mode_, shifted(rank.buffer[0], b),
+                                             shifted(rank.buffer[1], b)));
+        }
+      }
+      return;
+    }
+    case mem::CmdKind::kPimWriteback: {
+      ++stats_.writebacks;
+      if (!rank.buffer_result.empty()) {
+        // Buffer path: window encoded in aux = col_start | (cols << 8).
+        const unsigned col_start = cmd.aux & 0xff;
+        const unsigned cols = cmd.aux >> 8;
+        PIN_CHECK_MSG(cols >= 1, "buffer writeback without a window");
+        std::vector<unsigned> stripes;
+        for (unsigned c = 0; c < cols; ++c) stripes.push_back(col_start + c);
+        write_stripes(cmd.addr, rank.buffer_result, stripes);
+        rank.buffer_result.clear();
+        rank.buffer.clear();
+        return;
+      }
+      PIN_CHECK_MSG(!rank.sa_latch.empty(),
+                    "PIM_WB with neither SA nor buffer results latched");
+      write_stripes(cmd.addr, rank.sa_latch, rank.sensed_stripes);
+      rank.sa_latch.clear();
+      rank.sensed_stripes.clear();
+      return;
+    }
+    case mem::CmdKind::kRead:   // host result burst: no PIM state change
+    case mem::CmdKind::kWrite:
+    case mem::CmdKind::kPrecharge:
+      return;  // plain DRAM-protocol commands
+  }
+  PIN_UNREACHABLE("bad CmdKind");
+}
+
+void CommandReplayer::execute_all(const std::vector<mem::Command>& cmds) {
+  for (const auto& c : cmds) execute(c);
+}
+
+}  // namespace pinatubo::core

@@ -1,0 +1,88 @@
+// DDR command-stream replay: the executable semantics of the PIM ISA.
+//
+// The driver lowers every operation into DDR commands (paper §5: extended
+// instructions → DDR commands through the MR4-configured controller).
+// `CommandReplayer` executes such a stream against a MainMemory image,
+// modelling exactly what the modified chip does per command:
+//
+//   MRS4       latch the op into the mode register, clear PIM state
+//   PIM_RESET  release the addressed subarray's latched wordlines
+//   ACT        latch one more wordline (LwlDriverArray semantics)
+//   PIM_SENSE  resolve one column stripe through the modified SA over the
+//              currently open rows
+//   RD (slotN) latch a row into global/IO buffer slot N   (buffer paths)
+//   PIM_GDL/IO evaluate the buffer logic over a column window
+//   PIM_WB     feed the SA latches / buffer result to the write drivers
+//              of the addressed row (the in-place-update path)
+//
+// Replaying a recorded stream on a fresh memory image must reproduce the
+// functional runtime's results bit for bit — the integration tests assert
+// this, which makes the lowering a complete, executable specification
+// rather than documentation.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "circuit/lwl_driver.hpp"
+#include "mem/commands.hpp"
+#include "mem/mainmem.hpp"
+
+namespace pinatubo::core {
+
+class CommandReplayer {
+ public:
+  explicit CommandReplayer(mem::MainMemory& memory);
+
+  /// Executes one command; throws on protocol violations (sensing with no
+  /// open rows, writeback with nothing latched, unsupported shapes).
+  void execute(const mem::Command& cmd);
+  void execute_all(const std::vector<mem::Command>& cmds);
+
+  struct Stats {
+    std::uint64_t commands = 0;
+    std::uint64_t activations = 0;
+    std::uint64_t sense_steps = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t buffer_ops = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct SubarrayKey {
+    unsigned channel, rank, subarray;
+    bool operator<(const SubarrayKey& o) const {
+      return std::tie(channel, rank, subarray) <
+             std::tie(o.channel, o.rank, o.subarray);
+    }
+  };
+  /// Per-rank PIM state: the open-row set, the SA result latches (one
+  /// full rank-row per bank), sensed stripes, and the two buffer slots.
+  struct RankState {
+    std::optional<SubarrayKey> open_subarray;
+    std::vector<mem::RowAddr> open_rows;        // bank 0 coordinates
+    std::vector<BitVector> sa_latch;            // per bank, after sensing
+    std::vector<unsigned> sensed_stripes;
+    struct BufferSlot {
+      std::vector<BitVector> rows;  // per bank
+      unsigned col = 0;             // operand's first column stripe
+    };
+    std::vector<BufferSlot> buffer;
+    std::vector<BitVector> buffer_result;       // per bank, after logic
+  };
+
+  RankState& state_of(const mem::RowAddr& a);
+  /// Writes the given stripes of `rows` into the addressed row via WDs.
+  void write_stripes(const mem::RowAddr& dst,
+                     const std::vector<BitVector>& rows,
+                     const std::vector<unsigned>& stripes);
+
+  mem::MainMemory& mem_;
+  BitOp mode_ = BitOp::kOr;  ///< MR4 contents
+  std::map<std::pair<unsigned, unsigned>, RankState> ranks_;
+  std::map<SubarrayKey, circuit::LwlDriverArray> lwl_;
+  Stats stats_;
+};
+
+}  // namespace pinatubo::core

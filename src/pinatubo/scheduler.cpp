@@ -1,0 +1,241 @@
+#include "pinatubo/scheduler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pinatubo::core {
+
+const char* to_string(StepKind k) {
+  switch (k) {
+    case StepKind::kIntraSub:
+      return "intra-sub";
+    case StepKind::kInterSub:
+      return "inter-sub";
+    case StepKind::kInterBank:
+      return "inter-bank";
+    case StepKind::kHostRead:
+      return "host-read";
+  }
+  return "?";
+}
+
+std::string OpPlan::summary() const {
+  std::ostringstream os;
+  os << pinatubo::to_string(op) << '/' << bits << "b:";
+  os << " intra=" << count(StepKind::kIntraSub)
+     << " inter-sub=" << count(StepKind::kInterSub)
+     << " inter-bank=" << count(StepKind::kInterBank);
+  return os.str();
+}
+
+OpScheduler::OpScheduler(const mem::Geometry& geo, const SchedulerConfig& cfg)
+    : geo_(geo), cfg_(cfg) {
+  geo_.validate();
+  PIN_CHECK(cfg.max_rows >= 2);
+}
+
+unsigned OpScheduler::effective_max_rows(BitOp op) const {
+  const auto& cell = nvm::cell_params(cfg_.tech);
+  switch (op) {
+    case BitOp::kOr:
+      return std::min(cfg_.max_rows, csa_.max_rows(BitOp::kOr, cell));
+    case BitOp::kAnd:
+    case BitOp::kXor:
+      return 2;
+    case BitOp::kInv:
+      return 1;
+  }
+  PIN_UNREACHABLE("bad BitOp");
+}
+
+OpPlan OpScheduler::plan(BitOp op, const std::vector<Placement>& srcs,
+                         const Placement& dst,
+                         bool host_reads_result) const {
+  PIN_CHECK(!srcs.empty());
+  if (op == BitOp::kInv)
+    PIN_CHECK_MSG(srcs.size() == 1, "INV takes one operand");
+  else
+    PIN_CHECK_MSG(srcs.size() >= 2, "binary ops need >= 2 operands");
+  for (const auto& s : srcs) {
+    PIN_CHECK_MSG(s.channel == dst.channel,
+                  "cross-channel operands are not supported by the hardware");
+    PIN_CHECK_MSG(s.bits == dst.bits, "operand lengths must match");
+  }
+
+  OpPlan out;
+  out.op = op;
+  out.bits = dst.bits;
+
+  // Can this be an intra-subarray multi-row activation?  The technology's
+  // sensing margin must support the op's minimal activation shape at all —
+  // e.g. 2-row AND on STT-MRAM (boundary ratio 1.43) is below the CSA's
+  // reliable threshold, so AND demotes to the digital buffer path there.
+  const auto& cell = nvm::cell_params(cfg_.tech);
+  bool intra =
+      op == BitOp::kInv || csa_.supports(op, 2, cell);
+  for (const auto& s : srcs) {
+    intra &= s.same_subarray(dst) && s.column_aligned(dst) &&
+             s.groups == dst.groups;
+  }
+  // Source rows must be pairwise distinct (one wordline per operand).
+  for (std::size_t i = 0; intra && i < srcs.size(); ++i)
+    for (std::size_t j = i + 1; j < srcs.size(); ++j)
+      if (srcs[i].rows_overlap(srcs[j])) intra = false;
+
+  if (intra) {
+    plan_intra(out, op, srcs, dst);
+  } else {
+    // Same bank cluster -> global row buffer; otherwise IO buffer + bus.
+    bool same_cluster = true;
+    for (const auto& s : srcs) same_cluster &= s.same_rank(dst);
+    plan_buffer(out, op,
+                same_cluster ? StepKind::kInterSub : StepKind::kInterBank,
+                srcs, dst);
+  }
+
+  if (host_reads_result) {
+    PlanStep rd;
+    rd.kind = StepKind::kHostRead;
+    rd.op = op;
+    rd.rows = 1;
+    rd.bits = dst.bits;
+    rd.col_steps = dst.stripes;
+    rd.writeback = false;
+    rd.channel = dst.channel;
+    rd.rank = dst.rank;
+    rd.subarray = dst.subarray;
+    rd.row = dst.first_row;
+    rd.col_start = dst.col_stripe;
+    rd.reads = {mem::RowAddr{dst.channel, dst.rank, 0, dst.subarray,
+                             dst.first_row}};
+    out.steps.push_back(rd);
+  }
+  return out;
+}
+
+void OpScheduler::plan_intra(OpPlan& out, BitOp op,
+                             const std::vector<Placement>& srcs,
+                             const Placement& dst) const {
+  const unsigned max_rows = effective_max_rows(op);
+  const unsigned ranks = geo_.ranks_per_channel;
+  const std::uint64_t group_bits = geo_.row_group_bits();
+  const std::uint64_t step_bits = geo_.sense_step_bits();
+
+  // In-place operands (aliasing dst) must be consumed by the FIRST
+  // activation — later chain steps reuse the dst row as the accumulator.
+  // The chained ops are commutative, so reordering is sound.
+  std::vector<Placement> ordered = srcs;
+  std::stable_partition(ordered.begin(), ordered.end(),
+                        [&](const Placement& p) {
+                          return p.same_subarray(dst) &&
+                                 p.first_row == dst.first_row &&
+                                 p.column_aligned(dst);
+                        });
+
+  for (std::uint64_t g = 0; g < dst.groups; ++g) {
+    const std::uint64_t bits_g =
+        std::min(dst.bits - g * group_bits,
+                 dst.groups == 1 ? dst.bits : group_bits);
+    const auto cols =
+        static_cast<unsigned>((bits_g + step_bits - 1) / step_bits);
+    auto addr_of = [&](const Placement& p) {
+      return mem::RowAddr{p.channel, p.group_rank(g, ranks), 0, p.subarray,
+                          p.group_row(g, ranks)};
+    };
+    auto make_step = [&](std::vector<mem::RowAddr> reads) {
+      PlanStep st;
+      st.kind = StepKind::kIntraSub;
+      st.op = op;
+      st.rows = static_cast<unsigned>(reads.size());
+      st.col_steps = cols;
+      st.bits = bits_g;
+      st.writeback = true;
+      st.channel = dst.channel;
+      st.rank = dst.group_rank(g, ranks);
+      st.subarray = dst.subarray;
+      st.row = dst.group_row(g, ranks);
+      st.col_start = dst.col_stripe;
+      st.group = g;
+      st.reads = std::move(reads);
+      st.read_cols.assign(st.reads.size(), dst.col_stripe);  // aligned
+      st.write = addr_of(dst);
+      return st;
+    };
+    if (op == BitOp::kInv) {
+      out.steps.push_back(make_step({addr_of(ordered[0])}));
+      continue;
+    }
+    const auto n = static_cast<unsigned>(ordered.size());
+    unsigned consumed = std::min(max_rows, n);
+    std::vector<mem::RowAddr> reads;
+    for (unsigned i = 0; i < consumed; ++i)
+      reads.push_back(addr_of(ordered[i]));
+    out.steps.push_back(make_step(std::move(reads)));
+    while (consumed < n) {
+      // Accumulator row (dst) re-activated with the next operand batch.
+      const unsigned k = std::min(max_rows, n - consumed + 1);
+      std::vector<mem::RowAddr> chain{addr_of(dst)};
+      for (unsigned i = 0; i + 1 < k; ++i)
+        chain.push_back(addr_of(ordered[consumed + i]));
+      out.steps.push_back(make_step(std::move(chain)));
+      consumed += k - 1;
+    }
+  }
+}
+
+void OpScheduler::plan_buffer(OpPlan& out, BitOp op, StepKind kind,
+                              const std::vector<Placement>& srcs,
+                              const Placement& dst) const {
+  const std::uint64_t group_bits = geo_.row_group_bits();
+  const std::uint64_t step_bits = geo_.sense_step_bits();
+  const std::uint64_t groups = dst.groups;
+
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    const std::uint64_t bits_g = std::min(
+        dst.bits - g * group_bits, groups == 1 ? dst.bits : group_bits);
+    const auto cols =
+        static_cast<unsigned>((bits_g + step_bits - 1) / step_bits);
+    const unsigned ranks = geo_.ranks_per_channel;
+    auto addr_of = [&](const Placement& p) {
+      return mem::RowAddr{p.channel, p.group_rank(g, ranks), 0, p.subarray,
+                          p.group_row(g, ranks)};
+    };
+    const std::size_t steps =
+        op == BitOp::kInv ? 1 : srcs.size() - 1;
+    for (std::size_t i = 0; i < steps; ++i) {
+      PlanStep st;
+      st.kind = kind;
+      st.op = op;
+      st.rows = op == BitOp::kInv ? 1 : 2;
+      st.col_steps = cols;
+      st.bits = bits_g;
+      st.writeback = true;
+      st.channel = dst.channel;
+      st.rank = dst.group_rank(g, ranks);
+      st.subarray = dst.subarray;
+      st.row = dst.group_row(g, ranks);
+      st.col_start = dst.col_stripe;
+      st.group = g;
+      // Fold: first step combines the first two operands; later steps
+      // combine the accumulator (at dst) with the next operand.
+      const Placement& operand = srcs[std::min(i + 1, srcs.size() - 1)];
+      if (op == BitOp::kInv) {
+        st.reads = {addr_of(srcs[0])};
+        st.read_cols = {srcs[0].col_stripe};
+      } else if (i == 0) {
+        st.reads = {addr_of(srcs[0]), addr_of(operand)};
+        st.read_cols = {srcs[0].col_stripe, operand.col_stripe};
+      } else {
+        st.reads = {addr_of(dst), addr_of(operand)};
+        st.read_cols = {dst.col_stripe, operand.col_stripe};
+      }
+      st.write = addr_of(dst);
+      st.crosses_rank = !operand.same_rank(dst);
+      out.steps.push_back(st);
+    }
+  }
+}
+
+}  // namespace pinatubo::core

@@ -1,0 +1,45 @@
+// AC-PIM: accelerator-in-memory baseline (paper §6.1).
+//
+// "Even the intra-subarray operations are implemented with digital logic
+// gates" at the global row buffers: every operation, regardless of operand
+// placement, is a 2-operand digital step —
+//   read operand A into the global row buffer (tRCD + GDL stream),
+//   read operand B onto the GDL (tRCD + stream), evaluate the logic,
+//   write the result row back through the array (tWR + stream).
+// n-operand ops decompose into n-1 sequential steps, each writing its
+// intermediate result back to a scratch row (the buffer is not a persistent
+// accumulator across independent DDR command sequences).
+//
+// Shares the BufferPathParams constants with Pinatubo's inter-subarray path:
+// AC-PIM loses because it uses that path for everything, not because it is
+// priced differently.
+#pragma once
+
+#include "mem/geometry.hpp"
+#include "mem/timing.hpp"
+#include "nvm/energy_model.hpp"
+#include "sim/backend.hpp"
+#include "sim/pim_params.hpp"
+
+namespace pinatubo::sim {
+
+class AcPimBackend final : public Backend {
+ public:
+  explicit AcPimBackend(const mem::Geometry& geo = {},
+                        nvm::Tech tech = nvm::Tech::kPcm);
+
+  std::string name() const override { return "AC-PIM"; }
+  BackendResult execute(const OpTrace& trace) override;
+
+  /// Cost of one n-operand op over `bits`.
+  mem::Cost op_cost(BitOp op, std::size_t n_operands, std::uint64_t bits,
+                    bool host_reads_result, double result_density) const;
+
+ private:
+  mem::Geometry geo_;
+  mem::TimingParams timing_;
+  BufferPathParams path_;
+  nvm::ArrayEnergyModel energy_;
+};
+
+}  // namespace pinatubo::sim

@@ -1,0 +1,11 @@
+#include "sim/backend.hpp"
+
+namespace pinatubo::sim {
+
+std::uint64_t OpTrace::total_src_bits() const {
+  std::uint64_t total = 0;
+  for (const auto& op : ops) total += op.bits * op.srcs.size();
+  return total;
+}
+
+}  // namespace pinatubo::sim

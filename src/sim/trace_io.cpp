@@ -1,0 +1,87 @@
+#include "sim/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pinatubo::sim {
+namespace {
+
+BitOp op_from_name(const std::string& name) {
+  if (name == "OR") return BitOp::kOr;
+  if (name == "AND") return BitOp::kAnd;
+  if (name == "XOR") return BitOp::kXor;
+  if (name == "INV") return BitOp::kInv;
+  PIN_UNREACHABLE("bad op name in trace: " + name);
+}
+
+}  // namespace
+
+void save_trace(const OpTrace& trace, std::ostream& os) {
+  PIN_CHECK_MSG(trace.name.find_first_of(" \n") == std::string::npos,
+                "trace names must be token-safe");
+  os << "trace " << (trace.name.empty() ? "unnamed" : trace.name) << '\n';
+  os << "scalar " << trace.scalar_ops << ' ' << trace.scalar_bytes << ' '
+     << trace.result_density << '\n';
+  for (const auto& op : trace.ops) {
+    os << "op " << to_string(op.op) << ' ' << op.bits << ' ' << op.dst << ' '
+       << (op.host_reads_result ? 1 : 0);
+    for (const auto s : op.srcs) os << ' ' << s;
+    os << '\n';
+  }
+  os << "end\n";
+  PIN_CHECK_MSG(os.good(), "trace write failed");
+}
+
+OpTrace load_trace(std::istream& is) {
+  OpTrace trace;
+  std::string line;
+  bool saw_header = false, saw_end = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "trace") {
+      ls >> trace.name;
+      saw_header = true;
+    } else if (tag == "scalar") {
+      ls >> trace.scalar_ops >> trace.scalar_bytes >> trace.result_density;
+      PIN_CHECK_MSG(!ls.fail(), "bad scalar line: " << line);
+    } else if (tag == "op") {
+      std::string op_name;
+      TraceOp op;
+      int host = 0;
+      ls >> op_name >> op.bits >> op.dst >> host;
+      PIN_CHECK_MSG(!ls.fail(), "bad op line: " << line);
+      op.op = op_from_name(op_name);
+      op.host_reads_result = host != 0;
+      std::uint64_t src;
+      while (ls >> src) op.srcs.push_back(src);
+      PIN_CHECK_MSG(!op.srcs.empty(), "op without operands: " << line);
+      trace.ops.push_back(std::move(op));
+    } else if (tag == "end") {
+      saw_end = true;
+      break;
+    } else {
+      PIN_UNREACHABLE("unknown trace line: " + line);
+    }
+  }
+  PIN_CHECK_MSG(saw_header && saw_end, "truncated trace stream");
+  return trace;
+}
+
+void save_trace_file(const OpTrace& trace, const std::string& path) {
+  std::ofstream f(path);
+  PIN_CHECK_MSG(f.good(), "cannot open " << path);
+  save_trace(trace, f);
+}
+
+OpTrace load_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  PIN_CHECK_MSG(f.good(), "cannot open " << path);
+  return load_trace(f);
+}
+
+}  // namespace pinatubo::sim

@@ -1,0 +1,24 @@
+// OpTrace serialization: record a workload once, price it anywhere.
+//
+// Text format, line oriented (stable across versions, diff-friendly):
+//   trace <name>
+//   scalar <ops> <bytes> <result_density>
+//   op <OR|AND|XOR|INV> <bits> <dst> <host(0|1)> <src0> <src1> ...
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/backend.hpp"
+
+namespace pinatubo::sim {
+
+void save_trace(const OpTrace& trace, std::ostream& os);
+OpTrace load_trace(std::istream& is);
+
+/// Convenience file wrappers (throw on I/O failure).
+void save_trace_file(const OpTrace& trace, const std::string& path);
+OpTrace load_trace_file(const std::string& path);
+
+}  // namespace pinatubo::sim

@@ -1,0 +1,127 @@
+#include "apps/bitmap_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pinatubo::apps {
+namespace {
+
+IndexConfig small_config() {
+  IndexConfig cfg;
+  cfg.rows = 1ull << 12;
+  return cfg;
+}
+
+class BitmapIndexTest : public ::testing::Test {
+ protected:
+  BitmapIndexTest() : index_(small_config(), 7) {}
+  BitmapIndex index_;
+};
+
+TEST_F(BitmapIndexTest, BitmapsPartitionTheRows) {
+  const auto& cfg = index_.config();
+  for (unsigned a = 0; a < cfg.attributes; ++a) {
+    std::uint64_t total = 0;
+    for (unsigned b = 0; b < cfg.bins; ++b)
+      total += index_.bin_bitmap(a, b).popcount();
+    EXPECT_EQ(total, cfg.rows) << "attr " << a;
+  }
+}
+
+TEST_F(BitmapIndexTest, BitmapsMatchRawValues) {
+  const auto& cfg = index_.config();
+  for (std::uint64_t r = 0; r < 500; ++r)
+    for (unsigned a = 0; a < cfg.attributes; ++a) {
+      const unsigned v = index_.value(r, a);
+      EXPECT_TRUE(index_.bin_bitmap(a, v).get(r));
+    }
+}
+
+TEST_F(BitmapIndexTest, ZipfSkewsBins) {
+  // Bin 0 must be much more popular than the last bin.
+  EXPECT_GT(index_.bin_bitmap(0, 0).popcount(),
+            3 * index_.bin_bitmap(0, index_.config().bins - 1).popcount());
+}
+
+TEST_F(BitmapIndexTest, IdLayoutPairsAttributes) {
+  const auto& cfg = index_.config();
+  const std::uint64_t block = 2 * cfg.bins + cfg.scratch_per_pair;
+  EXPECT_EQ(index_.bitmap_id(0, 0), 0u);
+  EXPECT_EQ(index_.bitmap_id(1, 0), cfg.bins);
+  EXPECT_EQ(index_.bitmap_id(2, 0), block);
+  EXPECT_EQ(index_.scratch_id(0, 0), 2ull * cfg.bins);
+  EXPECT_EQ(index_.scratch_id(1, 0), 2ull * cfg.bins);  // same pair
+  EXPECT_EQ(index_.scratch_id(2, 1), block + 2 * cfg.bins + 1);
+  EXPECT_THROW(index_.scratch_id(0, cfg.scratch_per_pair), Error);
+  EXPECT_THROW(index_.bitmap_id(cfg.attributes, 0), Error);
+}
+
+TEST_F(BitmapIndexTest, QueryGeneratorShape) {
+  const auto qs = generate_queries(index_.config(), 50, 3);
+  ASSERT_EQ(qs.size(), 50u);
+  for (const auto& q : qs) {
+    EXPECT_GE(q.preds.size(), 2u);
+    EXPECT_LE(q.preds.size(), 4u);
+    std::vector<bool> seen(index_.config().attributes, false);
+    for (const auto& p : q.preds) {
+      EXPECT_LE(p.lo_bin, p.hi_bin);
+      EXPECT_LT(p.hi_bin, index_.config().bins);
+      EXPECT_FALSE(seen[p.attr]) << "duplicate attribute in query";
+      seen[p.attr] = true;
+    }
+  }
+}
+
+TEST_F(BitmapIndexTest, QueryCountsMatchReference) {
+  const auto qs = generate_queries(index_.config(), 40, 11);
+  const auto res = run_queries(index_, qs);
+  ASSERT_EQ(res.counts.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i)
+    EXPECT_EQ(res.counts[i], count_matches_reference(index_, qs[i]))
+        << "query " << i;
+}
+
+TEST_F(BitmapIndexTest, TraceUsesMultiRowOrsAndScratch) {
+  const auto qs = generate_queries(index_.config(), 40, 13);
+  const auto res = run_queries(index_, qs);
+  std::size_t wide_or = 0, ands = 0;
+  for (const auto& op : res.trace.ops) {
+    if (op.op == BitOp::kOr && op.srcs.size() > 2) ++wide_or;
+    if (op.op == BitOp::kAnd) ++ands;
+    EXPECT_EQ(op.bits, index_.config().rows);
+  }
+  EXPECT_GT(wide_or, 0u);
+  EXPECT_GE(ands, qs.size());  // at least one AND per query
+  EXPECT_GT(res.trace.scalar_ops, 0u);
+}
+
+TEST_F(BitmapIndexTest, NegatedPredicatesCorrect) {
+  Query q;
+  q.preds.push_back({0, 0, 2, true});
+  q.preds.push_back({1, 0, index_.config().bins - 1, false});  // always true
+  const auto res = run_queries(index_, {q});
+  EXPECT_EQ(res.counts[0], count_matches_reference(index_, q));
+  // Negation of bins 0..2 (the popular ones) leaves the smaller part.
+  EXPECT_LT(res.counts[0], index_.config().rows * 2 / 3);
+}
+
+TEST(BitmapIndexConfig, Validation) {
+  IndexConfig cfg = small_config();
+  cfg.bins = 1;
+  EXPECT_THROW(BitmapIndex(cfg, 1), Error);
+  cfg = small_config();
+  cfg.rows = 0;
+  EXPECT_THROW(BitmapIndex(cfg, 1), Error);
+}
+
+TEST(BitmapIndexQueries, RejectSinglePredicate) {
+  const IndexConfig cfg = small_config();
+  const BitmapIndex index(cfg, 3);
+  Query q;
+  q.preds.push_back({0, 0, 1, false});
+  EXPECT_THROW(run_queries(index, {q}), Error);
+}
+
+}  // namespace
+}  // namespace pinatubo::apps

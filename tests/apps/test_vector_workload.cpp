@@ -1,0 +1,79 @@
+#include "apps/vector_workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pinatubo::apps {
+namespace {
+
+TEST(VectorSpec, ParsesPaperNames) {
+  const auto s = VectorSpec::parse("19-16-7s");
+  EXPECT_EQ(s.len_log, 19u);
+  EXPECT_EQ(s.count_log, 16u);
+  EXPECT_EQ(s.rows_log, 7u);
+  EXPECT_TRUE(s.sequential);
+  EXPECT_EQ(s.name(), "19-16-7s");
+  const auto r = VectorSpec::parse("14-16-7r");
+  EXPECT_FALSE(r.sequential);
+  EXPECT_EQ(r.operands(), 128u);
+  EXPECT_EQ(r.vector_bits(), 1ull << 14);
+}
+
+TEST(VectorSpec, RejectsMalformed) {
+  EXPECT_THROW(VectorSpec::parse("19-16-7"), Error);
+  EXPECT_THROW(VectorSpec::parse("19-16-7x"), Error);
+  EXPECT_THROW(VectorSpec::parse("abc"), Error);
+  EXPECT_THROW(VectorSpec::parse("40-16-7s"), Error);   // too long
+  EXPECT_THROW(VectorSpec::parse("19-2-7s"), Error);    // ops > vectors
+}
+
+TEST(VectorTrace, SequentialShape) {
+  const auto t = vector_trace(VectorSpec::parse("14-8-3s"));
+  // 2^8 vectors in 8-operand ops -> 32 ops.
+  ASSERT_EQ(t.ops.size(), 32u);
+  for (std::size_t i = 0; i < t.ops.size(); ++i) {
+    const auto& op = t.ops[i];
+    EXPECT_EQ(op.op, BitOp::kOr);
+    EXPECT_EQ(op.srcs.size(), 8u);
+    EXPECT_EQ(op.bits, 1ull << 14);
+    // Consecutive ids: the co-location contract with the allocator.
+    for (std::size_t k = 0; k < 8; ++k)
+      EXPECT_EQ(op.srcs[k], i * 8 + k);
+    EXPECT_EQ(op.dst, op.srcs.back());
+  }
+}
+
+TEST(VectorTrace, RandomShape) {
+  const auto t = vector_trace(VectorSpec::parse("14-10-3r"));
+  ASSERT_EQ(t.ops.size(), 128u);
+  bool any_nonconsecutive = false;
+  for (const auto& op : t.ops) {
+    EXPECT_EQ(op.srcs.size(), 8u);
+    // Distinct operands within an op.
+    for (std::size_t i = 0; i < op.srcs.size(); ++i)
+      for (std::size_t j = i + 1; j < op.srcs.size(); ++j)
+        EXPECT_NE(op.srcs[i], op.srcs[j]);
+    for (std::size_t k = 1; k < op.srcs.size(); ++k)
+      any_nonconsecutive |= op.srcs[k] != op.srcs[k - 1] + 1;
+  }
+  EXPECT_TRUE(any_nonconsecutive);
+}
+
+TEST(VectorTrace, Deterministic) {
+  const auto a = vector_trace(VectorSpec::parse("14-10-3r"), 5);
+  const auto b = vector_trace(VectorSpec::parse("14-10-3r"), 5);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i)
+    EXPECT_EQ(a.ops[i].srcs, b.ops[i].srcs);
+}
+
+TEST(VectorTrace, PaperSuite) {
+  const auto specs = paper_vector_specs();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name(), "19-16-1s");
+  EXPECT_EQ(specs[4].name(), "14-16-7r");
+}
+
+}  // namespace
+}  // namespace pinatubo::apps

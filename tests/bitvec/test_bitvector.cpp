@@ -1,0 +1,184 @@
+#include "bitvec/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pinatubo {
+namespace {
+
+TEST(BitVector, ConstructsZeroed) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.word_count(), 3u);
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVector, SetGetClearFlip) {
+  BitVector v(100);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(99);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.clear(63);
+  EXPECT_FALSE(v.get(63));
+  v.flip(1);
+  EXPECT_TRUE(v.get(1));
+  v.flip(1);
+  EXPECT_FALSE(v.get(1));
+}
+
+TEST(BitVector, BoundsChecked) {
+  BitVector v(10);
+  EXPECT_THROW(v.get(10), Error);
+  EXPECT_THROW(v.set(10), Error);
+  EXPECT_THROW(v.flip(10), Error);
+}
+
+TEST(BitVector, FromToString) {
+  const auto v = BitVector::from_string("1011001");
+  EXPECT_EQ(v.size(), 7u);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.to_string(), "1011001");
+  EXPECT_THROW(BitVector::from_string("10x"), Error);
+}
+
+TEST(BitVector, BulkOps) {
+  const auto a = BitVector::from_string("1100");
+  const auto b = BitVector::from_string("1010");
+  EXPECT_EQ((a | b).to_string(), "1110");
+  EXPECT_EQ((a & b).to_string(), "1000");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  EXPECT_EQ((~a).to_string(), "0011");
+}
+
+TEST(BitVector, SizeMismatchThrows) {
+  BitVector a(8), b(9);
+  EXPECT_THROW(a |= b, Error);
+  EXPECT_THROW(a &= b, Error);
+  EXPECT_THROW(a ^= b, Error);
+  EXPECT_THROW(BitVector::and_not(a, b), Error);
+}
+
+TEST(BitVector, InvertKeepsTailZero) {
+  BitVector v(70);
+  v.invert();
+  EXPECT_EQ(v.popcount(), 70u);
+  EXPECT_TRUE(v.all());
+  // The packing invariant: trailing word bits past size stay zero.
+  EXPECT_EQ(v.words()[1] >> 6, 0u);
+}
+
+TEST(BitVector, AndNot) {
+  const auto a = BitVector::from_string("1111");
+  const auto b = BitVector::from_string("0101");
+  EXPECT_EQ(BitVector::and_not(a, b).to_string(), "1010");
+}
+
+TEST(BitVector, ReduceMultiOperand) {
+  const auto a = BitVector::from_string("1000");
+  const auto b = BitVector::from_string("0100");
+  const auto c = BitVector::from_string("0010");
+  const BitVector* ops[] = {&a, &b, &c};
+  EXPECT_EQ(BitVector::reduce(BitOp::kOr, ops).to_string(), "1110");
+  EXPECT_EQ(BitVector::reduce(BitOp::kAnd, ops).to_string(), "0000");
+  EXPECT_EQ(BitVector::reduce(BitOp::kXor, ops).to_string(), "1110");
+}
+
+TEST(BitVector, ReduceInvTakesOneOperand) {
+  const auto a = BitVector::from_string("10");
+  const BitVector* one[] = {&a};
+  EXPECT_EQ(BitVector::reduce(BitOp::kInv, one).to_string(), "01");
+  const BitVector* two[] = {&a, &a};
+  EXPECT_THROW(BitVector::reduce(BitOp::kInv, two), Error);
+}
+
+TEST(BitVector, FindFirstNext) {
+  auto v = BitVector(200);
+  EXPECT_EQ(v.find_first(), 200u);
+  v.set(5);
+  v.set(64);
+  v.set(199);
+  EXPECT_EQ(v.find_first(), 5u);
+  EXPECT_EQ(v.find_next(5), 64u);
+  EXPECT_EQ(v.find_next(64), 199u);
+  EXPECT_EQ(v.find_next(199), 200u);
+  EXPECT_EQ(v.find_next(0), 5u);
+}
+
+TEST(BitVector, ForEachSetAscending) {
+  auto v = BitVector(150);
+  v.set(3);
+  v.set(77);
+  v.set(149);
+  std::vector<std::size_t> seen;
+  v.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{3, 77, 149}));
+}
+
+TEST(BitVector, FillAndAll) {
+  BitVector v(65);
+  v.fill(true);
+  EXPECT_TRUE(v.all());
+  EXPECT_EQ(v.popcount(), 65u);
+  v.fill(false);
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVector, ResizePreservesAndZeroes) {
+  BitVector v(10);
+  v.set(9);
+  v.resize(100);
+  EXPECT_TRUE(v.get(9));
+  EXPECT_EQ(v.popcount(), 1u);
+  v.resize(9);
+  EXPECT_EQ(v.popcount(), 0u);
+  v.resize(64);
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVector, BytesRoundTrip) {
+  Rng rng(5);
+  const auto v = BitVector::random(1234, 0.3, rng);
+  const auto bytes = v.to_bytes();
+  EXPECT_EQ(bytes.size(), (1234u + 7) / 8);
+  const auto back = BitVector::from_bytes(bytes, 1234);
+  EXPECT_EQ(v, back);
+}
+
+TEST(BitVector, RandomDensity) {
+  Rng rng(9);
+  const auto sparse = BitVector::random(100000, 0.1, rng);
+  const auto dense = BitVector::random(100000, 0.9, rng);
+  EXPECT_NEAR(sparse.popcount() / 100000.0, 0.1, 0.01);
+  EXPECT_NEAR(dense.popcount() / 100000.0, 0.9, 0.01);
+  const auto half = BitVector::random(100000, 0.5, rng);
+  EXPECT_NEAR(half.popcount() / 100000.0, 0.5, 0.02);
+}
+
+TEST(BitVector, EqualityAndApply) {
+  const auto a = BitVector::from_string("110");
+  const auto b = BitVector::from_string("011");
+  EXPECT_EQ(apply(BitOp::kOr, a, b).to_string(), "111");
+  EXPECT_EQ(apply(BitOp::kAnd, a, b).to_string(), "010");
+  EXPECT_EQ(apply(BitOp::kXor, a, b).to_string(), "101");
+  EXPECT_EQ(apply(BitOp::kInv, a, b).to_string(), "001");
+}
+
+TEST(BitOpNames, AllNamed) {
+  EXPECT_STREQ(to_string(BitOp::kOr), "OR");
+  EXPECT_STREQ(to_string(BitOp::kAnd), "AND");
+  EXPECT_STREQ(to_string(BitOp::kXor), "XOR");
+  EXPECT_STREQ(to_string(BitOp::kInv), "INV");
+}
+
+}  // namespace
+}  // namespace pinatubo

@@ -1,0 +1,112 @@
+#include "bitvec/wah.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace pinatubo {
+namespace {
+
+TEST(Wah, RoundTripSimple) {
+  const auto v = BitVector::from_string("101100111000");
+  const auto w = WahBitmap::compress(v);
+  EXPECT_EQ(w.decompress(), v);
+  EXPECT_EQ(w.size_bits(), 12u);
+}
+
+TEST(Wah, CompressesRuns) {
+  // 10k zeros with a couple of set bits: tiny compressed form.
+  BitVector v(10000);
+  v.set(5000);
+  const auto w = WahBitmap::compress(v);
+  EXPECT_LT(w.word_count(), 8u);
+  EXPECT_LT(w.compression_ratio(), 0.05);
+  EXPECT_EQ(w.decompress(), v);
+}
+
+TEST(Wah, AllOnesCompresses) {
+  BitVector v(31 * 100);
+  v.fill(true);
+  const auto w = WahBitmap::compress(v);
+  EXPECT_EQ(w.word_count(), 1u);  // one fill word, run 100
+  EXPECT_EQ(w.decompress(), v);
+  EXPECT_EQ(w.popcount(), v.size());
+}
+
+TEST(Wah, RandomDataBarelyCompresses) {
+  Rng rng(3);
+  const auto v = BitVector::random(10000, 0.5, rng);
+  const auto w = WahBitmap::compress(v);
+  EXPECT_GT(w.compression_ratio(), 0.9);  // literals + 3% group overhead
+  EXPECT_EQ(w.decompress(), v);
+}
+
+TEST(Wah, PopcountMatchesAcrossTails) {
+  Rng rng(5);
+  for (const std::size_t bits : {1u, 30u, 31u, 32u, 62u, 1000u, 4096u}) {
+    for (const double d : {0.0, 0.01, 0.5, 1.0}) {
+      const auto v = BitVector::random(bits, d, rng);
+      const auto w = WahBitmap::compress(v);
+      EXPECT_EQ(w.popcount(), v.popcount()) << bits << "/" << d;
+    }
+  }
+}
+
+class WahProps
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(WahProps, OpsMatchUncompressed) {
+  const auto [bits, density] = GetParam();
+  Rng rng(bits * 31 + static_cast<std::uint64_t>(density * 100));
+  const auto a = BitVector::random(bits, density, rng);
+  const auto b = BitVector::random(bits, 1.0 - density, rng);
+  const auto wa = WahBitmap::compress(a);
+  const auto wb = WahBitmap::compress(b);
+  EXPECT_EQ(WahBitmap::logical_and(wa, wb).decompress(), (a & b));
+  EXPECT_EQ(WahBitmap::logical_or(wa, wb).decompress(), (a | b));
+  EXPECT_EQ(WahBitmap::logical_xor(wa, wb).decompress(), (a ^ b));
+  EXPECT_EQ(wa.logical_not().decompress(), ~a);
+}
+
+TEST_P(WahProps, OpsStayCanonical) {
+  // Results of compressed ops must themselves be well-formed WAH
+  // (re-compressing the decompressed result gives the identical encoding).
+  const auto [bits, density] = GetParam();
+  Rng rng(bits * 7 + 1);
+  const auto a = BitVector::random(bits, density, rng);
+  const auto b = BitVector::random(bits, density, rng);
+  const auto r = WahBitmap::logical_or(WahBitmap::compress(a),
+                                       WahBitmap::compress(b));
+  EXPECT_EQ(r, WahBitmap::compress(r.decompress()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDensities, WahProps,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 31, 62, 93, 1000,
+                                                      4096, 100000),
+                       ::testing::Values(0.001, 0.05, 0.5, 0.999)));
+
+TEST(Wah, SizeMismatchThrows) {
+  const auto a = WahBitmap::compress(BitVector(100));
+  const auto b = WahBitmap::compress(BitVector(101));
+  EXPECT_THROW(WahBitmap::logical_and(a, b), Error);
+}
+
+TEST(Wah, SparseBitmapIndexScale) {
+  // A sparse FastBit bin bitmap (tail bin, ~2% density) over 2^20 rows:
+  // enough all-zero 31-bit groups to compress well below 1.0.
+  Rng rng(11);
+  const auto v = BitVector::random(1 << 20, 0.02, rng);
+  const auto w = WahBitmap::compress(v);
+  EXPECT_LT(w.compression_ratio(), 0.8);
+  EXPECT_EQ(w.popcount(), v.popcount());
+  // Uniform 7% density is the break-even zone: WAH stops paying off,
+  // which is itself the behaviour FastBit documents.
+  const auto dense = BitVector::random(1 << 20, 0.07, rng);
+  EXPECT_GT(WahBitmap::compress(dense).compression_ratio(), 0.8);
+}
+
+}  // namespace
+}  // namespace pinatubo

@@ -1,0 +1,127 @@
+#include "circuit/csa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pinatubo::circuit {
+namespace {
+
+using nvm::Tech;
+using nvm::cell_params;
+
+class CsaTest : public ::testing::Test {
+ protected:
+  CsaModel csa_;
+};
+
+TEST_F(CsaTest, TransientOutputsOneForLargerCurrent) {
+  const auto res = csa_.sense_transient(20e-6, 10e-6);
+  EXPECT_TRUE(res.output);
+  EXPECT_GT(res.margin_v, 0.5);
+  EXPECT_GT(res.resolve_time_ns, 0.0);
+}
+
+TEST_F(CsaTest, TransientOutputsZeroForSmallerCurrent) {
+  const auto res = csa_.sense_transient(5e-6, 10e-6);
+  EXPECT_FALSE(res.output);
+  EXPECT_GT(res.margin_v, 0.5);
+}
+
+TEST_F(CsaTest, TransientProducesWaveform) {
+  const auto res = csa_.sense_transient(15e-6, 10e-6);
+  EXPECT_GT(res.waveform.sample_count(), 100u);
+  EXPECT_GE(res.waveform.signal_count(), 6u);
+  // The sampling caps must actually charge during phase 1.
+  const auto vc = res.waveform.index_of("Vc");
+  EXPECT_GT(res.waveform.value_at(vc, csa_.config().t_sample_ns), 0.01);
+}
+
+TEST_F(CsaTest, TransientAgreesWithDecideAcrossRatios) {
+  for (double ratio : {0.3, 0.7, 1.5, 3.0, 8.0}) {
+    const double i_ref = 10e-6;
+    const auto res = csa_.sense_transient(ratio * i_ref, i_ref);
+    EXPECT_EQ(res.output, csa_.decide(ratio * i_ref, i_ref, nullptr))
+        << "ratio " << ratio;
+  }
+}
+
+TEST_F(CsaTest, DecideNominalIsThreshold) {
+  EXPECT_TRUE(csa_.decide(2e-6, 1e-6, nullptr));
+  EXPECT_FALSE(csa_.decide(0.9e-6, 1e-6, nullptr));
+  EXPECT_THROW(csa_.decide(-1e-6, 1e-6, nullptr), Error);
+}
+
+TEST_F(CsaTest, DecideWithOffsetIsNoisyNearThreshold) {
+  Rng rng(77);
+  int ones = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i)
+    ones += csa_.decide(1.0e-6, 1.0e-6, &rng);
+  // Exactly at threshold: offset flips the decision about half the time.
+  EXPECT_NEAR(ones / static_cast<double>(trials), 0.5, 0.1);
+}
+
+TEST_F(CsaTest, SenseOpTruthTablesNominal) {
+  const auto& c = cell_params(Tech::kPcm);
+  // 2-row OR.
+  EXPECT_FALSE(csa_.sense_op(BitOp::kOr, {false, false}, c, nullptr));
+  EXPECT_TRUE(csa_.sense_op(BitOp::kOr, {true, false}, c, nullptr));
+  EXPECT_TRUE(csa_.sense_op(BitOp::kOr, {false, true}, c, nullptr));
+  EXPECT_TRUE(csa_.sense_op(BitOp::kOr, {true, true}, c, nullptr));
+  // 2-row AND.
+  EXPECT_FALSE(csa_.sense_op(BitOp::kAnd, {false, false}, c, nullptr));
+  EXPECT_FALSE(csa_.sense_op(BitOp::kAnd, {true, false}, c, nullptr));
+  EXPECT_TRUE(csa_.sense_op(BitOp::kAnd, {true, true}, c, nullptr));
+  // XOR.
+  EXPECT_FALSE(csa_.sense_op(BitOp::kXor, {false, false}, c, nullptr));
+  EXPECT_TRUE(csa_.sense_op(BitOp::kXor, {true, false}, c, nullptr));
+  EXPECT_TRUE(csa_.sense_op(BitOp::kXor, {false, true}, c, nullptr));
+  EXPECT_FALSE(csa_.sense_op(BitOp::kXor, {true, true}, c, nullptr));
+  // INV.
+  EXPECT_TRUE(csa_.sense_op(BitOp::kInv, {false}, c, nullptr));
+  EXPECT_FALSE(csa_.sense_op(BitOp::kInv, {true}, c, nullptr));
+}
+
+TEST_F(CsaTest, MultiRowOrNominal) {
+  const auto& c = cell_params(Tech::kPcm);
+  std::vector<bool> all_zero(64, false);
+  EXPECT_FALSE(csa_.sense_op(BitOp::kOr, all_zero, c, nullptr));
+  auto one_hot = all_zero;
+  one_hot[37] = true;
+  EXPECT_TRUE(csa_.sense_op(BitOp::kOr, one_hot, c, nullptr));
+}
+
+TEST_F(CsaTest, SupportsMatrix) {
+  const auto& pcm = cell_params(Tech::kPcm);
+  const auto& stt = cell_params(Tech::kSttMram);
+  EXPECT_TRUE(csa_.supports(BitOp::kOr, 2, pcm));
+  EXPECT_TRUE(csa_.supports(BitOp::kOr, 128, pcm));
+  EXPECT_FALSE(csa_.supports(BitOp::kOr, 256, pcm));
+  EXPECT_TRUE(csa_.supports(BitOp::kOr, 2, stt));
+  EXPECT_FALSE(csa_.supports(BitOp::kOr, 4, stt));
+  EXPECT_TRUE(csa_.supports(BitOp::kAnd, 2, pcm));
+  EXPECT_FALSE(csa_.supports(BitOp::kAnd, 4, pcm));
+  EXPECT_TRUE(csa_.supports(BitOp::kXor, 2, pcm));
+  EXPECT_FALSE(csa_.supports(BitOp::kXor, 4, pcm));
+  EXPECT_TRUE(csa_.supports(BitOp::kInv, 1, pcm));
+}
+
+TEST_F(CsaTest, MaxRowsMatchesPaperClaims) {
+  // §4.2: "maximal 128-row operations for PCM ... maximal 2-row for STT".
+  EXPECT_EQ(csa_.max_rows(BitOp::kOr, cell_params(Tech::kPcm)), 128u);
+  EXPECT_EQ(csa_.max_rows(BitOp::kOr, cell_params(Tech::kSttMram)), 2u);
+  EXPECT_EQ(csa_.max_rows(BitOp::kOr, cell_params(Tech::kReRam)), 128u);
+  EXPECT_EQ(csa_.max_rows(BitOp::kAnd, cell_params(Tech::kPcm)), 2u);
+}
+
+TEST_F(CsaTest, SenseOpShapeChecks) {
+  const auto& c = cell_params(Tech::kPcm);
+  EXPECT_THROW(csa_.sense_op(BitOp::kXor, {true, false, true}, c, nullptr),
+               Error);
+  EXPECT_THROW(csa_.sense_op(BitOp::kInv, {true, false}, c, nullptr), Error);
+  EXPECT_THROW(csa_.sense_op(BitOp::kOr, {true}, c, nullptr), Error);
+}
+
+}  // namespace
+}  // namespace pinatubo::circuit

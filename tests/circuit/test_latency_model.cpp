@@ -1,0 +1,78 @@
+#include "circuit/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pinatubo::circuit {
+namespace {
+
+TEST(LatencyModel, DerivesThePaperTripletForPcm) {
+  // The evaluated subarray: 128 rows, 1024 columns per MAT.
+  LatencyModel m(nvm::cell_params(nvm::Tech::kPcm));
+  const auto d = m.derive(128, 1024);
+  // CACTI-3DD numbers the paper quotes: 18.3 - 8.9 - 151.1 ns.
+  EXPECT_NEAR(d.t_rcd_ns, 18.3, 0.5);
+  EXPECT_NEAR(d.t_cl_ns, 8.9, 0.5);
+  EXPECT_NEAR(d.t_wr_ns, 151.1, 1.0);
+}
+
+TEST(LatencyModel, ComponentsCompose) {
+  LatencyModel m(nvm::cell_params(nvm::Tech::kPcm));
+  const auto d = m.derive(128, 1024);
+  EXPECT_NEAR(d.t_rcd_ns,
+              d.t_decode_ns + d.t_wordline_ns + d.t_bitline_ns + 2.8 +
+                  d.t_sense_ns,
+              1e-9);
+  EXPECT_GT(d.t_rcd_ns, d.t_cl_ns);  // activation costs more than a step
+  EXPECT_GT(d.t_wr_ns, d.t_rcd_ns);  // PCM writes dominate
+}
+
+TEST(LatencyModel, TallerSubarraysAreSlower) {
+  LatencyModel m(nvm::cell_params(nvm::Tech::kPcm));
+  double prev_rcd = 0, prev_cl = 0;
+  for (const unsigned rows : {64u, 128u, 256u, 512u}) {
+    const auto d = m.derive(rows, 1024);
+    EXPECT_GT(d.t_rcd_ns, prev_rcd);
+    EXPECT_GT(d.t_cl_ns, prev_cl);
+    prev_rcd = d.t_rcd_ns;
+    prev_cl = d.t_cl_ns;
+  }
+}
+
+TEST(LatencyModel, WiderMatsSlowTheWordlineOnly) {
+  LatencyModel m(nvm::cell_params(nvm::Tech::kPcm));
+  const auto narrow = m.derive(128, 512);
+  const auto wide = m.derive(128, 2048);
+  EXPECT_GT(wide.t_wordline_ns, narrow.t_wordline_ns);
+  EXPECT_DOUBLE_EQ(wide.t_bitline_ns, narrow.t_bitline_ns);
+}
+
+TEST(LatencyModel, WritePulseSetsTwr) {
+  for (const auto tech :
+       {nvm::Tech::kPcm, nvm::Tech::kSttMram, nvm::Tech::kReRam}) {
+    const auto& cell = nvm::cell_params(tech);
+    LatencyModel m(cell);
+    const auto d = m.derive(128, 1024);
+    EXPECT_NEAR(d.t_wr_ns,
+                1.0 + std::max(cell.set_pulse_ns, cell.reset_pulse_ns),
+                1e-9)
+        << nvm::to_string(tech);
+  }
+}
+
+TEST(LatencyModel, SttSensesFasterThanPcm) {
+  // Lower cell resistances -> faster bitline development.
+  LatencyModel pcm(nvm::cell_params(nvm::Tech::kPcm));
+  LatencyModel stt(nvm::cell_params(nvm::Tech::kSttMram));
+  EXPECT_LT(stt.derive(128, 1024).t_rcd_ns, pcm.derive(128, 1024).t_rcd_ns);
+}
+
+TEST(LatencyModel, RejectsDegenerateArrays) {
+  LatencyModel m(nvm::cell_params(nvm::Tech::kPcm));
+  EXPECT_THROW(m.derive(1, 1024), Error);
+  EXPECT_THROW(m.derive(128, 1), Error);
+}
+
+}  // namespace
+}  // namespace pinatubo::circuit

@@ -1,0 +1,99 @@
+#include "circuit/lwl_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pinatubo::circuit {
+namespace {
+
+TEST(LwlArray, StartsInactive) {
+  LwlDriverArray arr(16);
+  EXPECT_EQ(arr.active_count(), 0u);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_FALSE(arr.is_active(i));
+}
+
+TEST(LwlArray, DecodeLatches) {
+  LwlDriverArray arr(16);
+  arr.decode(3);
+  arr.decode(9);
+  EXPECT_TRUE(arr.is_active(3));
+  EXPECT_TRUE(arr.is_active(9));
+  EXPECT_FALSE(arr.is_active(4));
+  EXPECT_EQ(arr.active_count(), 2u);
+  EXPECT_EQ(arr.active_rows(), (std::vector<std::size_t>{3, 9}));
+}
+
+TEST(LwlArray, DecodeIsIdempotent) {
+  LwlDriverArray arr(8);
+  arr.decode(1);
+  arr.decode(1);
+  EXPECT_EQ(arr.active_count(), 1u);
+}
+
+TEST(LwlArray, ResetReleasesAll) {
+  LwlDriverArray arr(8);
+  arr.decode(0);
+  arr.decode(7);
+  arr.reset();
+  EXPECT_EQ(arr.active_count(), 0u);
+  EXPECT_TRUE(arr.active_rows().empty());
+}
+
+TEST(LwlArray, BoundsChecked) {
+  LwlDriverArray arr(4);
+  EXPECT_THROW(arr.decode(4), Error);
+  EXPECT_THROW(arr.is_active(4), Error);
+  EXPECT_THROW(LwlDriverArray(0), Error);
+}
+
+// ---- transient validation (the Fig. 7 experiment) --------------------------
+
+TEST(LwlTransient, MultiRowActivationLatchesSelectedRows) {
+  // RESET pulse, then decode driver 0 and driver 2 sequentially; driver 1
+  // never addressed.  All three decoded WLs must hold at the end.
+  const std::vector<LwlEvent> events{
+      {0.1, 0.4, -1},  // RESET
+      {1.0, 0.5, 0},   // decode row 0
+      {2.0, 0.5, 2},   // decode row 2
+  };
+  const auto res = simulate_lwl_transient(3, events, 5.0);
+  ASSERT_EQ(res.final_states.size(), 3u);
+  EXPECT_TRUE(res.final_states[0]);   // latched even after pulse ended
+  EXPECT_FALSE(res.final_states[1]);  // never decoded
+  EXPECT_TRUE(res.final_states[2]);
+}
+
+TEST(LwlTransient, WordlineHoldsAfterDecodePulseEnds) {
+  const std::vector<LwlEvent> events{
+      {0.1, 0.4, -1},
+      {1.0, 0.5, 0},
+  };
+  const auto res = simulate_lwl_transient(1, events, 5.0);
+  const auto wl = res.waveform.index_of("WL_0");
+  // High at end, long after the decode pulse ended at 1.5 ns.
+  EXPECT_GT(res.waveform.value_at(wl, 4.8), 0.75);
+  // It rose after the decode pulse started.
+  EXPECT_LT(res.waveform.value_at(wl, 0.9), 0.3);
+}
+
+TEST(LwlTransient, ResetReleasesLatchedWordline) {
+  const std::vector<LwlEvent> events{
+      {0.1, 0.3, -1},
+      {0.6, 0.4, 0},   // latch WL 0
+      {3.0, 0.6, -1},  // second RESET releases it
+  };
+  const auto res = simulate_lwl_transient(1, events, 5.0);
+  EXPECT_FALSE(res.final_states[0]);
+  const auto wl = res.waveform.index_of("WL_0");
+  // Was high before the second reset.
+  EXPECT_GT(res.waveform.value_at(wl, 2.8), 0.75);
+}
+
+TEST(LwlTransient, ValidatesDriverIndices) {
+  EXPECT_THROW(simulate_lwl_transient(2, {{0.0, 0.1, 5}}), Error);
+  EXPECT_THROW(simulate_lwl_transient(0, {}), Error);
+}
+
+}  // namespace
+}  // namespace pinatubo::circuit

@@ -1,0 +1,91 @@
+#include "circuit/margin.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pinatubo::circuit {
+namespace {
+
+using nvm::Tech;
+using nvm::cell_params;
+
+TEST(Margin, SweepMonotoneDecreasing) {
+  CsaModel csa;
+  const auto pts = margin_sweep(cell_params(Tech::kPcm), BitOp::kOr, csa, 512);
+  ASSERT_GE(pts.size(), 5u);
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_LT(pts[i].boundary_ratio, pts[i - 1].boundary_ratio);
+}
+
+TEST(Margin, FeasibilityEdgeAt128ForPcm) {
+  CsaModel csa;
+  const auto pts = margin_sweep(cell_params(Tech::kPcm), BitOp::kOr, csa, 512);
+  for (const auto& p : pts) {
+    if (p.n_rows <= 128)
+      EXPECT_TRUE(p.feasible) << "n=" << p.n_rows;
+    else
+      EXPECT_FALSE(p.feasible) << "n=" << p.n_rows;
+  }
+}
+
+TEST(Margin, SttOnlyTwoRows) {
+  CsaModel csa;
+  const auto pts =
+      margin_sweep(cell_params(Tech::kSttMram), BitOp::kOr, csa, 16);
+  for (const auto& p : pts)
+    EXPECT_EQ(p.feasible, p.n_rows == 2) << "n=" << p.n_rows;
+}
+
+TEST(Margin, AndInfeasibleBeyondTwo) {
+  CsaModel csa;
+  const auto pts = margin_sweep(cell_params(Tech::kPcm), BitOp::kAnd, csa, 8);
+  EXPECT_TRUE(pts[0].feasible);    // n=2
+  EXPECT_FALSE(pts[1].feasible);   // n=4
+  EXPECT_FALSE(pts[2].feasible);   // n=8
+  // Paper footnote 3: can't distinguish Rlow/(n-1)||Rhigh from Rlow/n.
+  EXPECT_LT(pts[1].boundary_ratio, 1.5);
+}
+
+TEST(Margin, DerivedMaxRowsMatchPaper) {
+  EXPECT_EQ(derived_max_or_rows(Tech::kPcm), 128u);
+  EXPECT_EQ(derived_max_or_rows(Tech::kSttMram), 2u);
+  EXPECT_EQ(derived_max_or_rows(Tech::kReRam), 128u);
+}
+
+TEST(Margin, MonteCarloYieldHighWithinLimit) {
+  CsaModel csa;
+  Rng rng(11);
+  for (unsigned n : {2u, 32u, 128u}) {
+    const auto y =
+        monte_carlo_yield(cell_params(Tech::kPcm), BitOp::kOr, n, 2000, csa, rng);
+    EXPECT_GT(y.yield, 0.999) << "n=" << n;
+    EXPECT_GT(y.worst_side, 0.995) << "n=" << n;
+  }
+}
+
+TEST(Margin, MonteCarloYieldDegradesBeyondLimit) {
+  CsaModel csa;
+  Rng rng(13);
+  const auto ok =
+      monte_carlo_yield(cell_params(Tech::kSttMram), BitOp::kOr, 2, 4000, csa, rng);
+  const auto bad =
+      monte_carlo_yield(cell_params(Tech::kSttMram), BitOp::kOr, 8, 4000, csa, rng);
+  EXPECT_GT(ok.yield, 0.99);
+  EXPECT_LT(bad.worst_side, ok.worst_side);
+  // 8-row OR on STT-MRAM: the "0" and "1" boundary currents are so close
+  // that the SA offset flips a visible fraction of decisions.
+  EXPECT_LT(bad.worst_side, 0.99);
+}
+
+TEST(Margin, MonteCarloXorAndAndWork) {
+  CsaModel csa;
+  Rng rng(17);
+  const auto x =
+      monte_carlo_yield(cell_params(Tech::kPcm), BitOp::kXor, 2, 2000, csa, rng);
+  const auto a =
+      monte_carlo_yield(cell_params(Tech::kPcm), BitOp::kAnd, 2, 2000, csa, rng);
+  EXPECT_GT(x.yield, 0.999);
+  EXPECT_GT(a.yield, 0.999);
+}
+
+}  // namespace
+}  // namespace pinatubo::circuit

@@ -1,0 +1,106 @@
+#include "circuit/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pinatubo::circuit {
+namespace {
+
+using nvm::Tech;
+using nvm::cell_params;
+
+TEST(Reference, ReadReferenceBetweenStates) {
+  const auto& c = cell_params(Tech::kPcm);
+  const auto r = read_reference(c);
+  EXPECT_GT(r.i_result1_a, r.i_ref_a);
+  EXPECT_LT(r.i_result0_a, r.i_ref_a);
+  EXPECT_NEAR(r.boundary_ratio(), c.on_off_ratio(), 1e-9);
+}
+
+TEST(Reference, OrReferenceSeparatesBoundaries) {
+  const auto& c = cell_params(Tech::kPcm);
+  for (unsigned n : {2u, 4u, 8u, 32u, 128u}) {
+    const auto r = op_reference(c, BitOp::kOr, n);
+    // "single 1" current must be above ref; "all 0" below.
+    EXPECT_GT(r.i_result1_a, r.i_ref_a) << "n=" << n;
+    EXPECT_LT(r.i_result0_a, r.i_ref_a) << "n=" << n;
+  }
+}
+
+TEST(Reference, OrRatioFormulaMatchesPaper) {
+  // ratio = (rho + n - 1) / n from the parallel-resistance algebra.
+  const auto& c = cell_params(Tech::kPcm);
+  const double rho = c.on_off_ratio();
+  for (unsigned n : {2u, 16u, 128u}) {
+    const auto r = op_reference(c, BitOp::kOr, n);
+    EXPECT_NEAR(r.boundary_ratio(), (rho + n - 1) / n, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Reference, OrMarginShrinksWithRows) {
+  const auto& c = cell_params(Tech::kPcm);
+  double prev = 1e18;
+  for (unsigned n = 2; n <= 512; n *= 2) {
+    const double ratio = op_reference(c, BitOp::kOr, n).boundary_ratio();
+    EXPECT_LT(ratio, prev);
+    prev = ratio;
+  }
+}
+
+TEST(Reference, AndTwoRowWorks) {
+  const auto& c = cell_params(Tech::kPcm);
+  const auto r = op_reference(c, BitOp::kAnd, 2);
+  EXPECT_GT(r.boundary_ratio(), 1.7);
+  // Reference must sit between Rlow/2 current and Rlow||Rhigh current.
+  const double i_all_ones = 2 * c.read_voltage_v / c.r_low_ohm;
+  const double i_one_zero =
+      c.read_voltage_v * (1.0 / c.r_low_ohm + 1.0 / c.r_high_ohm);
+  EXPECT_LT(r.i_ref_a, i_all_ones);
+  EXPECT_GT(r.i_ref_a, i_one_zero);
+}
+
+TEST(Reference, MultiRowAndRejected) {
+  const auto& c = cell_params(Tech::kPcm);
+  EXPECT_THROW(op_reference(c, BitOp::kAnd, 4), Error);
+  EXPECT_THROW(op_reference(c, BitOp::kOr, 1), Error);
+  EXPECT_THROW(op_reference(c, BitOp::kXor, 3), Error);
+}
+
+TEST(Reference, GeometricMeanPlacement) {
+  const auto& c = cell_params(Tech::kReRam);
+  const auto r = op_reference(c, BitOp::kOr, 8);
+  EXPECT_NEAR(r.i_ref_a * r.i_ref_a, r.i_result1_a * r.i_result0_a, 1e-18);
+  EXPECT_NEAR(r.side_margin() * r.side_margin(), r.boundary_ratio(), 1e-9);
+}
+
+TEST(Reference, SaDecision) {
+  EXPECT_TRUE(sa_decision(2e-6, 1e-6));
+  EXPECT_FALSE(sa_decision(0.5e-6, 1e-6));
+}
+
+TEST(ExpectedResult, TruthTables) {
+  // OR
+  EXPECT_FALSE(expected_result(BitOp::kOr, 0, 4));
+  EXPECT_TRUE(expected_result(BitOp::kOr, 1, 4));
+  EXPECT_TRUE(expected_result(BitOp::kOr, 4, 4));
+  // AND
+  EXPECT_FALSE(expected_result(BitOp::kAnd, 1, 2));
+  EXPECT_TRUE(expected_result(BitOp::kAnd, 2, 2));
+  // XOR (odd parity)
+  EXPECT_FALSE(expected_result(BitOp::kXor, 0, 2));
+  EXPECT_TRUE(expected_result(BitOp::kXor, 1, 2));
+  EXPECT_FALSE(expected_result(BitOp::kXor, 2, 2));
+  // INV
+  EXPECT_TRUE(expected_result(BitOp::kInv, 0, 1));
+  EXPECT_FALSE(expected_result(BitOp::kInv, 1, 1));
+}
+
+TEST(Reference, SttMarginCollapsesQuickly) {
+  const auto& c = cell_params(Tech::kSttMram);
+  EXPECT_GE(op_reference(c, BitOp::kOr, 2).boundary_ratio(), 1.7);
+  EXPECT_LT(op_reference(c, BitOp::kOr, 4).boundary_ratio(), 1.7);
+}
+
+}  // namespace
+}  // namespace pinatubo::circuit

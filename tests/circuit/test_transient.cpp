@@ -1,0 +1,123 @@
+#include "circuit/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pinatubo::circuit {
+namespace {
+
+TEST(Transient, RcChargeMatchesAnalytic) {
+  // 1 kohm into 1 pF from a 1 V rail: tau = 1 ns.
+  TransientCircuit ckt;
+  const auto vdd = ckt.add_rail("VDD", 1.0);
+  const auto n = ckt.add_node("n", 1e-12, 0.0);
+  ckt.add_resistor(vdd, n, 1e3);
+  for (int i = 0; i < 1000; ++i) ckt.step(0.001);
+  // After 1 tau: 1 - e^-1.
+  EXPECT_NEAR(ckt.voltage(n), 1.0 - std::exp(-1.0), 5e-3);
+  for (int i = 0; i < 4000; ++i) ckt.step(0.001);
+  EXPECT_NEAR(ckt.voltage(n), 1.0 - std::exp(-5.0), 5e-3);
+}
+
+TEST(Transient, CurrentSourceIntegration) {
+  // 1 uA into 1 fF for 1 ns -> dV = I*t/C = 1 V.
+  TransientCircuit ckt;
+  const auto gnd = ckt.add_rail("GND", 0.0);
+  const auto n = ckt.add_node("n", 1e-15, 0.0);
+  ckt.add_resistor(n, gnd, 1e15);  // negligible leak
+  ckt.add_current_source(gnd, n, 1e-6);
+  for (int i = 0; i < 1000; ++i) ckt.step(0.001);
+  EXPECT_NEAR(ckt.voltage(n), 1.0, 0.01);
+}
+
+TEST(Transient, SwitchOpensAndCloses) {
+  TransientCircuit ckt;
+  const auto vdd = ckt.add_rail("VDD", 1.0);
+  const auto gnd = ckt.add_rail("GND", 0.0);
+  const auto n = ckt.add_node("n", 1e-13, 0.0);
+  ckt.add_resistor(n, gnd, 1e9);  // weak pulldown
+  const auto sw = ckt.add_switch(vdd, n, 1e3, false);
+  for (int i = 0; i < 200; ++i) ckt.step(0.01);
+  EXPECT_LT(ckt.voltage(n), 0.05);  // open: stays low
+  ckt.set_switch(sw, true);
+  for (int i = 0; i < 200; ++i) ckt.step(0.01);
+  EXPECT_GT(ckt.voltage(n), 0.95);  // closed: pulled up
+}
+
+TEST(Transient, VoltageDividerSteadyState) {
+  TransientCircuit ckt;
+  const auto vdd = ckt.add_rail("VDD", 1.0);
+  const auto gnd = ckt.add_rail("GND", 0.0);
+  const auto mid = ckt.add_node("mid", 1e-14, 0.0);
+  ckt.add_resistor(vdd, mid, 2e3);
+  ckt.add_resistor(mid, gnd, 1e3);
+  for (int i = 0; i < 2000; ++i) ckt.step(0.005);
+  EXPECT_NEAR(ckt.voltage(mid), 1.0 / 3.0, 1e-3);
+}
+
+TEST(Transient, InverterInverts) {
+  TransientCircuit ckt;
+  const auto vdd = ckt.add_rail("VDD", 1.0);
+  const auto gnd = ckt.add_rail("GND", 0.0);
+  const auto in = ckt.add_node("in", 1e-14, 0.0);
+  const auto out = ckt.add_node("out", 1e-14, 0.0);
+  ckt.add_resistor(in, gnd, 1e12);
+  ckt.add_inverter(in, out, vdd, gnd, 1e3, 0.5);
+  for (int i = 0; i < 500; ++i) ckt.step(0.01);
+  EXPECT_GT(ckt.voltage(out), 0.9);  // low in -> high out
+  ckt.set_voltage(in, 1.0);
+  for (int i = 0; i < 500; ++i) ckt.step(0.01);
+  EXPECT_LT(ckt.voltage(out), 0.1);
+}
+
+TEST(Transient, CrossCoupledLatchRegenerates) {
+  TransientCircuit ckt;
+  const auto vdd = ckt.add_rail("VDD", 1.0);
+  const auto gnd = ckt.add_rail("GND", 0.0);
+  const auto a = ckt.add_node("a", 1e-14, 0.55);
+  const auto b = ckt.add_node("b", 1e-14, 0.45);
+  ckt.add_inverter(a, b, vdd, gnd, 5e3, 0.5);
+  ckt.add_inverter(b, a, vdd, gnd, 5e3, 0.5);
+  for (int i = 0; i < 2000; ++i) ckt.step(0.005);
+  // Small initial difference regenerates to full swing: a high, b low.
+  EXPECT_GT(ckt.voltage(a), 0.9);
+  EXPECT_LT(ckt.voltage(b), 0.1);
+}
+
+TEST(Transient, RunSamplesWaveform) {
+  TransientCircuit ckt;
+  const auto vdd = ckt.add_rail("VDD", 1.0);
+  const auto n = ckt.add_node("n", 1e-12, 0.0);
+  ckt.add_resistor(vdd, n, 1e3);
+  Waveform wf;
+  ckt.bind_waveform(&wf);
+  ckt.run(2.0, 0.001, &wf);
+  EXPECT_EQ(wf.signal_count(), 2u);
+  EXPECT_GT(wf.sample_count(), 100u);
+  // Monotone rise on node "n".
+  const auto idx = wf.index_of("n");
+  EXPECT_LT(wf.samples(idx).front(), wf.samples(idx).back());
+}
+
+TEST(Transient, SingularMatrixDetected) {
+  TransientCircuit ckt;
+  ckt.add_rail("VDD", 1.0);
+  // A node with no connection at all: singular system.
+  ckt.add_node("float", 1e-15, 0.0);
+  EXPECT_NO_THROW(ckt.step(0.01));  // cap term keeps it regular
+}
+
+TEST(Transient, RejectsBadElements) {
+  TransientCircuit ckt;
+  const auto a = ckt.add_node("a", 1e-15, 0.0);
+  EXPECT_THROW(ckt.add_node("bad", 0.0), Error);
+  EXPECT_THROW(ckt.add_resistor(a, 99, 1e3), Error);
+  EXPECT_THROW(ckt.add_resistor(a, a, -5.0), Error);
+  EXPECT_THROW(ckt.step(0.0), Error);
+}
+
+}  // namespace
+}  // namespace pinatubo::circuit

@@ -1,0 +1,63 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pinatubo {
+namespace {
+
+TEST(Config, ParsesKeyValueLines) {
+  const auto cfg = Config::from_string(
+      "a = 1\n"
+      "# comment\n"
+      "b.c = hello world  # trailing comment\n"
+      "\n"
+      "flag = true\n");
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_EQ(cfg.get_or("b.c", ""), "hello world");
+  EXPECT_TRUE(cfg.get_bool("flag", false));
+}
+
+TEST(Config, DefaultsWhenMissing) {
+  Config cfg;
+  EXPECT_EQ(cfg.get_int("nope", 7), 7);
+  EXPECT_DOUBLE_EQ(cfg.get_double("nope", 2.5), 2.5);
+  EXPECT_FALSE(cfg.get("nope").has_value());
+}
+
+TEST(Config, ThrowsOnMalformedLine) {
+  EXPECT_THROW(Config::from_string("no equals sign"), Error);
+}
+
+TEST(Config, ThrowsOnBadTypedValue) {
+  auto cfg = Config::from_string("x = abc");
+  EXPECT_THROW(cfg.get_int("x", 0), Error);
+  EXPECT_THROW(cfg.get_double("x", 0), Error);
+  EXPECT_THROW(cfg.get_bool("x", false), Error);
+}
+
+TEST(Config, FromArgsAndMerge) {
+  auto base = Config::from_string("a=1\nb=2");
+  const auto over = Config::from_args({"b=3", "c=4"});
+  base.merge(over);
+  EXPECT_EQ(base.get_int("a", 0), 1);
+  EXPECT_EQ(base.get_int("b", 0), 3);
+  EXPECT_EQ(base.get_int("c", 0), 4);
+}
+
+TEST(Config, BoolSpellings) {
+  const auto cfg = Config::from_string("a=yes\nb=off\nc=1\nd=false");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+}
+
+TEST(Config, HexIntegers) {
+  const auto cfg = Config::from_string("addr = 0x1000");
+  EXPECT_EQ(cfg.get_u64("addr", 0), 0x1000u);
+}
+
+}  // namespace
+}  // namespace pinatubo

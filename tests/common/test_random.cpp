@@ -1,0 +1,128 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pinatubo {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_u64(17), 17u);
+}
+
+TEST(Rng, UniformU64CoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformU64RejectsZeroBound) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_u64(0), Error);
+}
+
+TEST(Rng, UniformIntInclusiveEnds) {
+  Rng rng(3);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo |= v == -2;
+    hi |= v == 2;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 20001; ++i) xs.push_back(rng.lognormal(0.0, 0.3));
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  EXPECT_NEAR(xs[10000], 1.0, 0.05);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ForkStreamsAreIndependent) {
+  Rng rng(23);
+  Rng child = rng.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (rng.next() == child.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(ZipfSampler, SkewsTowardHead) {
+  Rng rng(29);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20 * counts[99] / 2);
+}
+
+TEST(ZipfSampler, ThetaZeroIsUniform) {
+  Rng rng(31);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 500);
+}
+
+TEST(ZipfSampler, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace pinatubo

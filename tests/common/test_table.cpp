@@ -1,0 +1,50 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pinatubo {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1234.5678, 4), "1235");
+  EXPECT_EQ(Table::mult(2.0, 3), "2x");
+}
+
+TEST(Table, SeparatorAndNotes) {
+  Table t;
+  t.add_row({"a"});
+  t.add_separator();
+  t.add_row({"b"});
+  t.add_note("footnote");
+  EXPECT_NE(t.to_string().find("footnote"), std::string::npos);
+}
+
+TEST(LogChart, RendersSeries) {
+  LogChart c("chart", "GBps");
+  c.set_x_labels({"10", "11", "12"});
+  c.add_series("s1", {1.0, 10.0, 100.0});
+  c.add_hline("ddr", 12.8);
+  const auto s = c.to_string();
+  EXPECT_NE(s.find("chart"), std::string::npos);
+  EXPECT_NE(s.find("s1"), std::string::npos);
+  EXPECT_NE(s.find("ddr"), std::string::npos);
+}
+
+TEST(LogChart, HandlesNoData) {
+  LogChart c("empty", "y");
+  EXPECT_NE(c.to_string().find("no positive data"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pinatubo

@@ -1,0 +1,40 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pinatubo::units {
+namespace {
+
+TEST(Units, PowerToEnergy) {
+  // 1 W for 1 ns = 1e-9 J = 1000 pJ.
+  EXPECT_DOUBLE_EQ(power_to_energy_pj(1.0, 1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(power_to_energy_pj(40.0, 1000.0), 40.0 * 1e6);
+}
+
+TEST(Units, Gbps) {
+  // bytes / ns == GB/s numerically.
+  EXPECT_DOUBLE_EQ(gbps(128, 10.0), 12.8);
+  EXPECT_DOUBLE_EQ(gbps(100, 0.0), 0.0);
+}
+
+TEST(Units, FormatTime) {
+  EXPECT_EQ(format_time(1.0), "1 ns");
+  EXPECT_EQ(format_time(1500.0), "1.5 us");
+  EXPECT_EQ(format_time(2.5e6), "2.5 ms");
+  EXPECT_EQ(format_time(3e9), "3 s");
+}
+
+TEST(Units, FormatEnergy) {
+  EXPECT_EQ(format_energy(1.0), "1 pJ");
+  EXPECT_EQ(format_energy(2000.0), "2 nJ");
+  EXPECT_EQ(format_energy(5e6), "5 uJ");
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2 KiB");
+  EXPECT_EQ(format_bytes(3 * MiB), "3 MiB");
+}
+
+}  // namespace
+}  // namespace pinatubo::units

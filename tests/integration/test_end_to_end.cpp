@@ -1,0 +1,207 @@
+// End-to-end integration tests: applications executed THROUGH the
+// simulated Pinatubo memory (driver + allocator + scheduler + sensing),
+// cross-checked against pure-CPU references; plus cross-backend
+// consistency of the evaluation pipeline.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <queue>
+
+#include "apps/bitmap_index.hpp"
+#include "apps/graph.hpp"
+#include "apps/workloads.hpp"
+#include "common/error.hpp"
+#include "pinatubo/backend.hpp"
+#include "pinatubo/driver.hpp"
+#include "sim/acpim_backend.hpp"
+#include "sim/sdram_backend.hpp"
+#include "sim/simd_backend.hpp"
+
+namespace pinatubo {
+namespace {
+
+TEST(EndToEnd, PimBfsMatchesCpuBfs) {
+  apps::GraphGenParams p;
+  p.nodes = 4096;
+  p.avg_degree = 6;
+  p.communities = 3;
+  p.bridge_edges = 8;
+  Rng rng(9);
+  const auto g = apps::generate_graph(p, rng);
+
+  // Reference.
+  std::vector<bool> cpu_visited(g.nodes(), false);
+  std::queue<std::uint32_t> q;
+  cpu_visited[0] = true;
+  q.push(0);
+  while (!q.empty()) {
+    const auto v = q.front();
+    q.pop();
+    const auto [b, e] = g.neighbors(v);
+    for (const auto* w = b; w != e; ++w)
+      if (!cpu_visited[*w]) {
+        cpu_visited[*w] = true;
+        q.push(*w);
+      }
+  }
+
+  // PIM execution.
+  core::PimRuntime pim;
+  const unsigned P = 8;
+  std::vector<core::PimRuntime::Handle> partial(P);
+  for (auto& h : partial) h = pim.pim_malloc(g.nodes());
+  const auto visited = pim.pim_malloc(g.nodes());
+  const auto next = pim.pim_malloc(g.nodes());
+  BitVector init(g.nodes());
+  init.set(0);
+  pim.pim_write(visited, init);
+
+  BitVector frontier = init;
+  const std::uint32_t span = (g.nodes() + P - 1) / P;
+  while (frontier.any()) {
+    std::vector<BitVector> parts(P, BitVector(g.nodes()));
+    std::vector<core::PimRuntime::Handle> dirty;
+    frontier.for_each_set([&](std::size_t v) {
+      const auto [b, e] = g.neighbors(static_cast<std::uint32_t>(v));
+      for (const auto* w = b; w != e; ++w)
+        parts[static_cast<std::uint32_t>(v) / span].set(*w);
+    });
+    for (unsigned pi = 0; pi < P; ++pi)
+      if (parts[pi].any()) {
+        pim.pim_write(partial[pi], parts[pi]);
+        dirty.push_back(partial[pi]);
+      }
+    if (dirty.empty()) break;
+    if (dirty.size() >= 2) pim.pim_op(BitOp::kOr, dirty, dirty.front());
+    pim.pim_op(BitOp::kInv, {visited}, next);
+    pim.pim_op(BitOp::kAnd, {next, dirty.front()}, next);
+    pim.pim_op(BitOp::kOr, {visited, next}, visited);
+    frontier = pim.pim_read(next);
+    for (const auto h : dirty) pim.pim_write(h, BitVector(g.nodes()));
+  }
+
+  const auto pim_visited = pim.pim_read(visited);
+  for (std::uint32_t v = 0; v < g.nodes(); ++v)
+    ASSERT_EQ(pim_visited.get(v), cpu_visited[v]) << "vertex " << v;
+  EXPECT_GT(pim.stats().intra_steps, 0u);
+}
+
+TEST(EndToEnd, PimQueriesMatchRawScan) {
+  apps::IndexConfig cfg;
+  cfg.rows = 1ull << 12;
+  const apps::BitmapIndex index(cfg, 21);
+  core::PimRuntime pim;
+
+  const std::uint64_t block = 2ull * cfg.bins + cfg.scratch_per_pair;
+  std::vector<core::PimRuntime::Handle> by_id((cfg.attributes / 2) * block);
+  for (auto& h : by_id) h = pim.pim_malloc(cfg.rows);
+  for (unsigned a = 0; a < cfg.attributes; ++a)
+    for (unsigned b = 0; b < cfg.bins; ++b)
+      pim.pim_write(by_id[index.bitmap_id(a, b)], index.bin_bitmap(a, b));
+
+  for (const auto& qy : apps::generate_queries(cfg, 25, 5)) {
+    std::vector<unsigned> use(cfg.attributes / 2 + 1, 0);
+    std::vector<core::PimRuntime::Handle> preds;
+    for (const auto& p : qy.preds) {
+      const auto slot = by_id[index.scratch_id(p.attr, use[p.attr / 2]++)];
+      if (p.hi_bin > p.lo_bin) {
+        std::vector<core::PimRuntime::Handle> bins;
+        for (unsigned b = p.lo_bin; b <= p.hi_bin; ++b)
+          bins.push_back(by_id[index.bitmap_id(p.attr, b)]);
+        pim.pim_op(BitOp::kOr, bins, slot);
+        if (p.negate) pim.pim_op(BitOp::kInv, {slot}, slot);
+        preds.push_back(slot);
+      } else if (p.negate) {
+        pim.pim_op(BitOp::kInv, {by_id[index.bitmap_id(p.attr, p.lo_bin)]},
+                   slot);
+        preds.push_back(slot);
+      } else {
+        preds.push_back(by_id[index.bitmap_id(p.attr, p.lo_bin)]);
+      }
+    }
+    const auto out =
+        by_id[index.scratch_id(qy.preds[0].attr, use[qy.preds[0].attr / 2]++)];
+    pim.pim_op(BitOp::kAnd, {preds[0], preds[1]}, out);
+    for (std::size_t i = 2; i < preds.size(); ++i)
+      pim.pim_op(BitOp::kAnd, {out, preds[i]}, out);
+    EXPECT_EQ(pim.pim_read(out).popcount(),
+              apps::count_matches_reference(index, qy));
+  }
+}
+
+TEST(EndToEnd, SttRuntimeFallsBackGracefully) {
+  // On STT-MRAM the same 8-operand OR must still compute correctly via
+  // 2-row chains (the margin-derived limit), just more slowly.
+  core::PimRuntime::Options opts;
+  opts.tech = nvm::Tech::kSttMram;
+  core::PimRuntime stt(mem::Geometry{}, opts);
+  core::PimRuntime pcm;
+  Rng rng(3);
+  const std::uint64_t bits = 4096;
+  BitVector expect(bits);
+  std::vector<core::PimRuntime::Handle> hs, hp;
+  for (int i = 0; i < 8; ++i) {
+    const auto v = BitVector::random(bits, 0.2, rng);
+    expect |= v;
+    hs.push_back(stt.pim_malloc(bits));
+    stt.pim_write(hs.back(), v);
+    hp.push_back(pcm.pim_malloc(bits));
+    pcm.pim_write(hp.back(), v);
+  }
+  stt.pim_op(BitOp::kOr, hs, hs.back());
+  pcm.pim_op(BitOp::kOr, hp, hp.back());
+  EXPECT_EQ(stt.pim_read(hs.back()), expect);
+  EXPECT_EQ(pcm.pim_read(hp.back()), expect);
+  // Chained STT execution: 7 activations vs 1, proportionally slower.
+  EXPECT_EQ(stt.stats().intra_steps, 7u);
+  EXPECT_EQ(pcm.stats().intra_steps, 1u);
+  EXPECT_GT(stt.cost().time_ns, 3 * pcm.cost().time_ns);
+}
+
+TEST(EndToEnd, WorkloadSuiteIsWellFormed) {
+  const auto workloads = apps::paper_workloads(1.0 / 64);
+  ASSERT_EQ(workloads.size(), 11u);
+  EXPECT_EQ(workloads[0].group, "Vector");
+  EXPECT_EQ(workloads[5].group, "Graph");
+  EXPECT_EQ(workloads[8].group, "Fastbit");
+  for (const auto& w : workloads) {
+    EXPECT_FALSE(w.trace.ops.empty()) << w.name;
+    EXPECT_GT(w.trace.result_density, 0.0) << w.name;
+    EXPECT_LE(w.trace.result_density, 1.0) << w.name;
+  }
+}
+
+TEST(EndToEnd, AllBackendsPriceTheSuite) {
+  const auto workloads = apps::paper_workloads(1.0 / 64);
+  sim::SimdBackend simd(sim::MemKind::kPcm);
+  sim::SdramBackend sdram;
+  sim::AcPimBackend acpim;
+  core::PinatuboBackend pin({}, {nvm::Tech::kPcm, 128});
+  for (auto* backend : std::initializer_list<sim::Backend*>{
+           &simd, &sdram, &acpim, &pin}) {
+    for (const auto& w : workloads) {
+      const auto r = backend->execute(w.trace);
+      EXPECT_GT(r.bitwise.time_ns, 0.0) << backend->name() << "/" << w.name;
+      EXPECT_GT(r.bitwise.energy.total_pj(), 0.0)
+          << backend->name() << "/" << w.name;
+    }
+  }
+}
+
+TEST(EndToEnd, RuntimeCostAgreesWithBackend) {
+  // The functional runtime and the analytic backend must charge the same
+  // cost for the same op stream (same placements, same plans).
+  core::PimRuntime rt;
+  std::vector<core::PimRuntime::Handle> hs;
+  for (int i = 0; i < 4; ++i) hs.push_back(rt.pim_malloc(1ull << 14));
+  rt.pim_op(BitOp::kOr, {hs[0], hs[1], hs[2], hs[3]}, hs[3]);
+
+  core::PinatuboBackend backend({}, {nvm::Tech::kPcm, 128});
+  const auto cost =
+      backend.op_cost(BitOp::kOr, {0, 1, 2, 3}, 3, 1ull << 14, false, 0.5);
+  EXPECT_NEAR(rt.cost().time_ns, cost.time_ns, 1e-9);
+  EXPECT_NEAR(rt.cost().energy.total_pj(), cost.energy.total_pj(), 1e-6);
+}
+
+}  // namespace
+}  // namespace pinatubo

@@ -1,0 +1,74 @@
+#include "mem/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pinatubo::mem {
+namespace {
+
+TEST(Address, RoundTripAllFields) {
+  AddressCodec codec{Geometry{}};
+  const RowAddr a{0, 1, 5, 33, 100};
+  EXPECT_EQ(codec.decode(codec.encode(a)), a);
+}
+
+TEST(Address, ExhaustiveRoundTripSmallGeometry) {
+  Geometry g;
+  g.ranks_per_channel = 2;
+  g.banks_per_chip = 4;
+  g.subarrays_per_bank = 4;
+  g.rows_per_subarray = 4;
+  AddressCodec codec{g};
+  for (std::uint64_t id = 0; id < codec.row_count(); ++id)
+    EXPECT_EQ(codec.encode(codec.decode(id)), id);
+}
+
+TEST(Address, BanksVaryFastest) {
+  // Consecutive ids hit different banks -> consecutive rows of a striped
+  // vector land in different banks and proceed in parallel.
+  AddressCodec codec{Geometry{}};
+  const auto a0 = codec.decode(0);
+  const auto a1 = codec.decode(1);
+  EXPECT_EQ(a0.bank + 1, a1.bank);
+  EXPECT_EQ(a0.subarray, a1.subarray);
+  EXPECT_EQ(a0.row, a1.row);
+}
+
+TEST(Address, SameSubarrayPredicate) {
+  const RowAddr a{0, 0, 2, 7, 1};
+  const RowAddr b{0, 0, 2, 7, 99};
+  const RowAddr c{0, 0, 2, 8, 1};
+  const RowAddr d{0, 0, 3, 7, 1};
+  EXPECT_TRUE(a.same_subarray(b));
+  EXPECT_FALSE(a.same_subarray(c));
+  EXPECT_FALSE(a.same_subarray(d));
+  EXPECT_TRUE(a.same_bank(c));
+  EXPECT_FALSE(a.same_bank(d));
+  EXPECT_TRUE(a.same_rank(d));
+}
+
+TEST(Address, RowCountMatchesGeometry) {
+  Geometry g;
+  AddressCodec codec{g};
+  EXPECT_EQ(codec.row_count(),
+            static_cast<std::uint64_t>(g.channels) * g.ranks_per_channel *
+                g.banks_per_chip * g.subarrays_per_bank * g.rows_per_subarray);
+}
+
+TEST(Address, ChecksBounds) {
+  AddressCodec codec{Geometry{}};
+  EXPECT_THROW(codec.decode(codec.row_count()), Error);
+  EXPECT_THROW(codec.encode(RowAddr{9, 0, 0, 0, 0}), Error);
+  EXPECT_THROW(codec.encode(RowAddr{0, 0, 8, 0, 0}), Error);
+  EXPECT_THROW(codec.encode(RowAddr{0, 0, 0, 64, 0}), Error);
+  EXPECT_THROW(codec.encode(RowAddr{0, 0, 0, 0, 128}), Error);
+}
+
+TEST(Address, ToStringIsReadable) {
+  const RowAddr a{0, 1, 2, 3, 4};
+  EXPECT_EQ(a.to_string(), "ch0.rk1.bk2.sa3.row4");
+}
+
+}  // namespace
+}  // namespace pinatubo::mem

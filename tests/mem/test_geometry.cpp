@@ -1,0 +1,64 @@
+#include "mem/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pinatubo::mem {
+namespace {
+
+TEST(Geometry, DefaultMatchesEvaluatedMachine) {
+  Geometry g;
+  g.validate();
+  // Turning point B: full-parallel row group = 2^19 bits.
+  EXPECT_EQ(g.row_group_bits(), 1ull << 19);
+  // Turning point A: one sensing step = 2^14 bits.
+  EXPECT_EQ(g.sense_step_bits(), 1ull << 14);
+  // 64 MB per chip-set... rank = chips * banks * subarrays * rows * slice.
+  EXPECT_EQ(g.rank_bits(), 1ull << 32);  // 512 MB per rank
+  EXPECT_EQ(g.total_bytes(), 1ull << 30);  // 1 GiB machine
+}
+
+TEST(Geometry, DerivedQuantities) {
+  Geometry g;
+  EXPECT_EQ(g.rank_row_bits(), 8192u * 8);
+  EXPECT_EQ(g.rows_per_bank(), 64u * 128);
+  EXPECT_EQ(g.rows_per_rank(), 64u * 128 * 8);
+  EXPECT_EQ(g.total_ranks(), 2u);
+}
+
+TEST(Geometry, ValidateCatchesInconsistency) {
+  Geometry g;
+  g.row_slice_bits = 1001;  // not divisible by 8 MATs
+  EXPECT_THROW(g.validate(), Error);
+  Geometry g2;
+  g2.sa_mux_share = 7;  // row group not divisible
+  EXPECT_THROW(g2.validate(), Error);
+  Geometry g3;
+  g3.channels = 0;
+  EXPECT_THROW(g3.validate(), Error);
+}
+
+TEST(Geometry, FromConfig) {
+  const auto cfg = Config::from_string(
+      "geometry.banks = 16\n"
+      "geometry.sa_mux_share = 16\n");
+  const auto g = geometry_from_config(cfg);
+  EXPECT_EQ(g.banks_per_chip, 16u);
+  EXPECT_EQ(g.sa_mux_share, 16u);
+  EXPECT_EQ(g.channels, 1u);  // default kept
+  // Invalid combinations are rejected at construction.
+  const auto bad = Config::from_string("geometry.sa_mux_share = 7\n");
+  EXPECT_THROW(geometry_from_config(bad), Error);
+}
+
+TEST(Geometry, MuxShareScalesSenseStep) {
+  Geometry g;
+  g.sa_mux_share = 16;
+  EXPECT_EQ(g.sense_step_bits(), 1ull << 15);
+  g.sa_mux_share = 64;
+  EXPECT_EQ(g.sense_step_bits(), 1ull << 13);
+}
+
+}  // namespace
+}  // namespace pinatubo::mem

@@ -1,0 +1,75 @@
+#include "mem/wear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mem/mainmem.hpp"
+
+namespace pinatubo::mem {
+namespace {
+
+TEST(WearTracker, RecordsAndAggregates) {
+  WearTracker w;
+  w.record(1, 100);
+  w.record(1, 100);
+  w.record(2, 50);
+  EXPECT_EQ(w.total_row_writes(), 3u);
+  EXPECT_EQ(w.total_cell_writes(), 250u);
+  EXPECT_EQ(w.max_row_writes(), 2u);
+  EXPECT_EQ(w.rows_touched(), 2u);
+  EXPECT_EQ(w.writes_of(1), 2u);
+  EXPECT_EQ(w.writes_of(99), 0u);
+}
+
+TEST(WearTracker, Imbalance) {
+  WearTracker w;
+  EXPECT_DOUBLE_EQ(w.imbalance(), 1.0);
+  w.record(1, 1);
+  w.record(2, 1);
+  EXPECT_DOUBLE_EQ(w.imbalance(), 1.0);  // even
+  for (int i = 0; i < 8; ++i) w.record(1, 1);
+  // Row 1: 9 writes, row 2: 1 -> mean 5, max 9.
+  EXPECT_DOUBLE_EQ(w.imbalance(), 9.0 / 5.0);
+}
+
+TEST(WearTracker, LifetimeScalesWithEnduranceAndRate) {
+  WearTracker w;
+  w.record(1, 1);
+  const double base = w.lifetime_years(1e8, 1000.0);
+  EXPECT_NEAR(w.lifetime_years(2e8, 1000.0), 2 * base, 1e-9);
+  EXPECT_NEAR(w.lifetime_years(1e8, 2000.0), base / 2, 1e-9);
+  EXPECT_THROW(w.lifetime_years(0, 1.0), Error);
+}
+
+TEST(WearTracker, ResetClears) {
+  WearTracker w;
+  w.record(1, 10);
+  w.reset();
+  EXPECT_EQ(w.total_row_writes(), 0u);
+  EXPECT_EQ(w.max_row_writes(), 0u);
+}
+
+TEST(WearTracker, MainMemoryRecordsWrites) {
+  Geometry g;
+  g.ranks_per_channel = 1;
+  g.banks_per_chip = 2;
+  g.subarrays_per_bank = 2;
+  g.rows_per_subarray = 4;
+  g.chips_per_rank = 2;
+  g.row_slice_bits = 64;
+  g.mats_per_subarray = 2;
+  g.sa_mux_share = 4;
+  MainMemory mem(g, nvm::Tech::kPcm);
+  mem.write_row({0, 0, 0, 0, 0}, BitVector(g.rank_row_bits()));
+  mem.write_row_partial({0, 0, 0, 0, 0}, 0, BitVector(8));
+  mem.write_row({0, 0, 1, 0, 0}, BitVector(g.rank_row_bits()));
+  EXPECT_EQ(mem.wear().total_row_writes(), 3u);
+  EXPECT_EQ(mem.wear().max_row_writes(), 2u);
+  EXPECT_EQ(mem.wear().rows_touched(), 2u);
+  // Reads do not wear.
+  mem.read_row({0, 0, 0, 0, 0});
+  EXPECT_EQ(mem.wear().total_row_writes(), 3u);
+}
+
+}  // namespace
+}  // namespace pinatubo::mem

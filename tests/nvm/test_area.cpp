@@ -1,0 +1,75 @@
+#include "nvm/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pinatubo::nvm {
+namespace {
+
+class AreaModelTest : public ::testing::Test {
+ protected:
+  AreaModel model_{cell_params(Tech::kPcm), ChipStructure{}};
+};
+
+TEST_F(AreaModelTest, StructureCountsConsistent) {
+  const ChipStructure c;
+  EXPECT_EQ(c.subarrays(), 512u);
+  EXPECT_EQ(c.mats(), 4096u);
+  EXPECT_EQ(c.cols_per_mat(), 1024u);
+  EXPECT_EQ(c.sense_amps(), 131072u);
+  // Capacity check: banks * subarrays * rows * row bits == cells.
+  EXPECT_EQ(c.banks * c.subarrays_per_bank * c.rows_per_subarray *
+                c.row_slice_bits,
+            c.cells);
+}
+
+TEST_F(AreaModelTest, CellArrayDominatesChip) {
+  const auto area = model_.baseline();
+  EXPECT_GT(area.find("cell array") / area.total_um2(), 0.7);
+}
+
+TEST_F(AreaModelTest, BaselineInPlausibleRange) {
+  // A 64 MB 65 nm NVM chip: tens of mm^2.
+  const double mm2 = model_.baseline().total_um2() / 1e6;
+  EXPECT_GT(mm2, 10.0);
+  EXPECT_LT(mm2, 100.0);
+}
+
+TEST_F(AreaModelTest, PinatuboOverheadMatchesPaper) {
+  // Fig. 13: ~0.9% total.
+  const auto o = model_.pinatubo_overhead();
+  EXPECT_NEAR(o.total_percent(), 0.9, 0.25);
+  // Breakdown ordering: inter-sub >> inter-bank > xor > wl act > and/or.
+  EXPECT_GT(o.percent("inter-sub"), o.percent("inter-bank"));
+  EXPECT_GT(o.percent("inter-bank"), o.percent("xor"));
+  EXPECT_GT(o.percent("xor"), o.percent("wl act"));
+  EXPECT_GT(o.percent("wl act"), o.percent("and/or"));
+  // Headline splits (paper: 0.72 / 0.09 / 0.06 / 0.05 / 0.02).
+  EXPECT_NEAR(o.percent("inter-sub"), 0.72, 0.2);
+  EXPECT_NEAR(o.percent("inter-bank"), 0.09, 0.04);
+}
+
+TEST_F(AreaModelTest, AcPimOverheadMatchesPaper) {
+  // Fig. 13: ~6.4%, dominated by the per-subarray ALUs.
+  const auto o = model_.acpim_overhead();
+  EXPECT_NEAR(o.total_percent(), 6.4, 1.5);
+  EXPECT_GT(o.percent("subarray alus"), 5.0);
+}
+
+TEST_F(AreaModelTest, AcPimFarCostlierThanPinatubo) {
+  EXPECT_GT(model_.acpim_overhead().total_percent(),
+            5.0 * model_.pinatubo_overhead().total_percent());
+}
+
+TEST_F(AreaModelTest, OverheadScalesWithStructure) {
+  // Doubling banks roughly doubles inter-sub logic area.
+  ChipStructure big;
+  big.banks = 16;
+  big.cells <<= 1;
+  AreaModel bigger(cell_params(Tech::kPcm), big);
+  const double a = model_.pinatubo_overhead().items[3].area_um2;
+  const double b = bigger.pinatubo_overhead().items[3].area_um2;
+  EXPECT_NEAR(b / a, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pinatubo::nvm

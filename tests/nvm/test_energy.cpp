@@ -1,0 +1,63 @@
+#include "nvm/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pinatubo::nvm {
+namespace {
+
+class EnergyModelTest : public ::testing::Test {
+ protected:
+  ArrayEnergyModel model_{cell_params(Tech::kPcm)};
+};
+
+TEST_F(EnergyModelTest, ActivationIsPerRowConstant) {
+  EXPECT_GT(model_.activate_row_pj(), 0);
+  EXPECT_LT(model_.activate_row_pj(), 100);  // a few pJ, not nJ
+}
+
+TEST_F(EnergyModelTest, SenseScalesWithBits) {
+  const double e1 = model_.sense_pj(1000, 2, 8.9);
+  const double e2 = model_.sense_pj(2000, 2, 8.9);
+  EXPECT_NEAR(e2 / e1, 2.0, 1e-9);
+}
+
+TEST_F(EnergyModelTest, SenseGrowsWithOpenRows) {
+  EXPECT_GT(model_.sense_pj(1000, 128, 8.9), model_.sense_pj(1000, 2, 8.9));
+}
+
+TEST_F(EnergyModelTest, SenseRejectsBadArgs) {
+  EXPECT_THROW(model_.sense_pj(10, 0, 8.9), Error);
+  EXPECT_THROW(model_.sense_pj(10, 2, 0.0), Error);
+}
+
+TEST_F(EnergyModelTest, WriteUsesSetResetMix) {
+  const auto& c = cell_params(Tech::kPcm);
+  EXPECT_DOUBLE_EQ(model_.write_pj(10, 0), 10 * c.set_energy_pj);
+  EXPECT_DOUBLE_EQ(model_.write_pj(0, 10), 10 * c.reset_energy_pj);
+  EXPECT_DOUBLE_EQ(model_.write_pj(3, 7),
+                   3 * c.set_energy_pj + 7 * c.reset_energy_pj);
+}
+
+TEST_F(EnergyModelTest, IoDominatesOnChipMovement) {
+  // The PIM argument: off-chip I/O energy per bit >> internal movement.
+  EXPECT_GT(model_.io_pj(1), 10 * model_.gdl_pj(1));
+  EXPECT_GT(model_.gdl_pj(1), model_.logic_pj(1));
+}
+
+TEST_F(EnergyModelTest, AnalogSensingBeatsDigitalPerOp) {
+  // Per processed bit, the analog sense (the Pinatubo path) must be within
+  // the same order as a logic evaluation and far below I/O.
+  const double sense_per_bit = model_.sense_pj(1, 2, 8.9);
+  EXPECT_LT(sense_per_bit, 1.0);
+  EXPECT_LT(sense_per_bit, model_.io_pj(1));
+}
+
+TEST_F(EnergyModelTest, WriteDominatesReadPerBit) {
+  // NVM asymmetry: writes cost orders more than sensing.
+  EXPECT_GT(model_.write_pj(1, 0), 10 * model_.sense_pj(1, 1, 8.9));
+}
+
+}  // namespace
+}  // namespace pinatubo::nvm

@@ -1,0 +1,61 @@
+#include "nvm/technology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pinatubo::nvm {
+namespace {
+
+TEST(Technology, PresetsAreSane) {
+  for (Tech t : {Tech::kPcm, Tech::kSttMram, Tech::kReRam}) {
+    const auto& p = cell_params(t);
+    EXPECT_EQ(p.tech, t);
+    EXPECT_GT(p.r_low_ohm, 0);
+    EXPECT_GT(p.r_high_ohm, p.r_low_ohm);
+    EXPECT_GT(p.read_voltage_v, 0);
+    EXPECT_GT(p.set_energy_pj, 0);
+    EXPECT_GT(p.reset_energy_pj, 0);
+    EXPECT_GT(p.cell_area_f2, 0);
+    EXPECT_GT(p.on_off_ratio(), 1.0);
+  }
+}
+
+TEST(Technology, PcmHasHighOnOffRatio) {
+  EXPECT_GE(cell_params(Tech::kPcm).on_off_ratio(), 50.0);
+  EXPECT_GE(cell_params(Tech::kReRam).on_off_ratio(), 50.0);
+}
+
+TEST(Technology, SttHasLowOnOffRatio) {
+  // The paper's premise for limiting STT-MRAM to 2-row ops.
+  EXPECT_LT(cell_params(Tech::kSttMram).on_off_ratio(), 5.0);
+}
+
+TEST(Technology, PcmWriteIsUnidirectional) {
+  EXPECT_FALSE(cell_params(Tech::kPcm).bidirectional_write);
+  EXPECT_TRUE(cell_params(Tech::kSttMram).bidirectional_write);
+  EXPECT_TRUE(cell_params(Tech::kReRam).bidirectional_write);
+}
+
+TEST(Technology, ReadCurrents) {
+  const auto& p = cell_params(Tech::kPcm);
+  EXPECT_DOUBLE_EQ(p.read_current_low_a(), p.read_voltage_v / p.r_low_ohm);
+  EXPECT_GT(p.read_current_low_a(), p.read_current_high_a());
+}
+
+TEST(Technology, Names) {
+  EXPECT_STREQ(to_string(Tech::kPcm), "PCM");
+  EXPECT_STREQ(to_string(Tech::kSttMram), "STT-MRAM");
+  EXPECT_STREQ(to_string(Tech::kReRam), "ReRAM");
+}
+
+TEST(Technology, FromString) {
+  EXPECT_EQ(tech_from_string("pcm"), Tech::kPcm);
+  EXPECT_EQ(tech_from_string("PCM"), Tech::kPcm);
+  EXPECT_EQ(tech_from_string("stt-mram"), Tech::kSttMram);
+  EXPECT_EQ(tech_from_string("ReRAM"), Tech::kReRam);
+  EXPECT_THROW(tech_from_string("flash"), Error);
+}
+
+}  // namespace
+}  // namespace pinatubo::nvm

@@ -1,0 +1,184 @@
+#include "pinatubo/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pinatubo::core {
+namespace {
+
+mem::Geometry geo() { return {}; }
+
+TEST(Allocator, ShapeOfLengths) {
+  RowAllocator a(geo(), AllocPolicy::kPimAware);
+  // <= one sense step: a single column stripe.
+  EXPECT_EQ(a.shape_of(1).stripes, 1u);
+  EXPECT_EQ(a.shape_of(1ull << 14).stripes, 1u);
+  EXPECT_EQ(a.shape_of((1ull << 14) + 1).stripes, 2u);
+  // Full row group.
+  EXPECT_EQ(a.shape_of(1ull << 19).stripes, 32u);
+  EXPECT_EQ(a.shape_of(1ull << 19).groups, 1u);
+  // Beyond a group: multiple rows.
+  EXPECT_EQ(a.shape_of(1ull << 20).groups, 2u);
+  EXPECT_EQ(a.shape_of(1ull << 20).stripes, 32u);
+}
+
+TEST(Allocator, PimAwareCoLocatesConsecutiveVectors) {
+  RowAllocator a(geo(), AllocPolicy::kPimAware);
+  // 128 consecutive full-group vectors fill one subarray's rows.
+  Placement first = a.allocate(1ull << 19);
+  Placement prev = first;
+  for (int i = 1; i < 128; ++i) {
+    const Placement p = a.allocate(1ull << 19);
+    EXPECT_TRUE(p.same_subarray(first));
+    EXPECT_TRUE(p.column_aligned(first));
+    EXPECT_EQ(p.first_row, prev.first_row + 1);
+    prev = p;
+  }
+  // The 129th spills to the next subarray.
+  const Placement next = a.allocate(1ull << 19);
+  EXPECT_FALSE(next.same_subarray(first));
+}
+
+TEST(Allocator, PimAwareShortVectorsShareSubarray) {
+  RowAllocator a(geo(), AllocPolicy::kPimAware);
+  // One-stripe vectors: 128 rows x 32 column windows per subarray.
+  std::vector<Placement> ps;
+  for (int i = 0; i < 4096; ++i) ps.push_back(a.allocate(1ull << 14));
+  for (const auto& p : ps) {
+    EXPECT_TRUE(p.same_subarray(ps[0]));
+  }
+  // First 128 share a column window on distinct rows.
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_TRUE(ps[i].column_aligned(ps[0]));
+    EXPECT_EQ(ps[i].first_row, static_cast<unsigned>(i));
+  }
+  // 129th starts the next column window.
+  EXPECT_EQ(ps[128].col_stripe, 1u);
+  EXPECT_EQ(ps[128].first_row, 0u);
+  // 4097th moves to a new subarray.
+  EXPECT_FALSE(a.allocate(1ull << 14).same_subarray(ps[0]));
+}
+
+TEST(Allocator, NaiveScattersConsecutiveVectors) {
+  RowAllocator a(geo(), AllocPolicy::kNaive);
+  const Placement p0 = a.allocate(1ull << 14);
+  const Placement p1 = a.allocate(1ull << 14);
+  EXPECT_FALSE(p0.same_subarray(p1));
+}
+
+TEST(Allocator, FreeListReusesSlots) {
+  RowAllocator a(geo(), AllocPolicy::kPimAware);
+  const Placement p0 = a.allocate(1ull << 14);
+  a.allocate(1ull << 14);
+  a.free(p0);
+  const Placement p2 = a.allocate(1ull << 14);
+  EXPECT_EQ(p2.subarray, p0.subarray);
+  EXPECT_EQ(p2.first_row, p0.first_row);
+  EXPECT_EQ(p2.col_stripe, p0.col_stripe);
+}
+
+TEST(Allocator, RejectsOversizedVector) {
+  RowAllocator a(geo(), AllocPolicy::kPimAware);
+  // Groups mirror across 2 ranks, so the cap is 2 * rows_per_subarray
+  // groups = 2^27 bits; one group above must throw.
+  EXPECT_NO_THROW(a.allocate((1ull << 19) * 256));
+  EXPECT_THROW(a.allocate((1ull << 19) * 257), Error);
+  EXPECT_THROW(a.allocate(0), Error);
+}
+
+TEST(Allocator, MultiGroupVectorsMirrorAcrossRanks) {
+  RowAllocator a(geo(), AllocPolicy::kPimAware);
+  const auto p = a.allocate(1ull << 20);  // 2 groups
+  EXPECT_EQ(p.groups, 2u);
+  EXPECT_EQ(p.rows, 1u);  // one row per rank
+  EXPECT_EQ(p.group_rank(0, 2), 0u);
+  EXPECT_EQ(p.group_rank(1, 2), 1u);
+  EXPECT_EQ(p.group_row(0, 2), p.first_row);
+  EXPECT_EQ(p.group_row(1, 2), p.first_row);
+  // 4-group vector: two rows per rank.
+  const auto q = a.allocate(1ull << 21);
+  EXPECT_EQ(q.rows, 2u);
+  EXPECT_EQ(q.group_row(2, 2), q.first_row + 1);
+  // Big vectors live at the top of the subarray space, away from the
+  // small-vector cursor.
+  const auto small = a.allocate(1ull << 14);
+  EXPECT_NE(small.subarray, p.subarray);
+}
+
+TEST(Allocator, MachineFullThrows) {
+  mem::Geometry g = geo();
+  g.subarrays_per_bank = 1;
+  g.ranks_per_channel = 1;
+  g.rows_per_subarray = 2;
+  RowAllocator a(g, AllocPolicy::kPimAware);
+  // 2 rows x 1 stripe windows x 32 windows = 64 one-stripe slots.
+  for (int i = 0; i < 64; ++i) a.allocate(1ull << 14);
+  EXPECT_THROW(a.allocate(1ull << 14), Error);
+}
+
+TEST(Allocator, MixedShapesStayAlignedWithinShape) {
+  RowAllocator a(geo(), AllocPolicy::kPimAware);
+  const Placement big = a.allocate(1ull << 19);
+  const Placement s0 = a.allocate(1ull << 14);
+  const Placement s1 = a.allocate(1ull << 14);
+  EXPECT_TRUE(s0.column_aligned(s1));
+  EXPECT_FALSE(s0.column_aligned(big));
+  EXPECT_FALSE(s0.rows_overlap(s1));
+}
+
+TEST(Allocator, VirtualPlacementMatchesRealForPimAware) {
+  RowAllocator a(geo(), AllocPolicy::kPimAware);
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const Placement real = a.allocate(1ull << 14);
+    const Placement virt = a.virtual_placement(i, 1ull << 14);
+    EXPECT_EQ(virt.subarray, real.subarray) << i;
+    EXPECT_EQ(virt.first_row, real.first_row) << i;
+    EXPECT_EQ(virt.col_stripe, real.col_stripe) << i;
+    EXPECT_EQ(virt.rank, real.rank) << i;
+  }
+}
+
+TEST(Allocator, VirtualPlacementWrapsInsteadOfThrowing) {
+  RowAllocator a(geo(), AllocPolicy::kPimAware);
+  EXPECT_NO_THROW(a.virtual_placement(1ull << 40, 1ull << 14));
+}
+
+TEST(Allocator, BigRegionMeetsCursorThrows) {
+  mem::Geometry g;
+  g.subarrays_per_bank = 2;
+  g.ranks_per_channel = 1;
+  RowAllocator a(g, AllocPolicy::kPimAware);
+  // Fill subarray 0 (small vectors), then subarray 1 via big vectors
+  // (2 rows each on 1 rank -> 64 fit); the next has nowhere to go.
+  for (int i = 0; i < 128 * 32; ++i) a.allocate(1ull << 14);
+  for (int i = 0; i < 64; ++i) a.allocate(1ull << 20);
+  EXPECT_THROW(a.allocate(1ull << 20), Error);
+}
+
+TEST(Allocator, NaiveBigVectorsScatter) {
+  RowAllocator a(geo(), AllocPolicy::kNaive);
+  const auto p0 = a.virtual_placement(0, 1ull << 20);
+  const auto p1 = a.virtual_placement(1, 1ull << 20);
+  EXPECT_NE(p0.subarray, p1.subarray);
+  RowAllocator aw(geo(), AllocPolicy::kPimAware);
+  const auto q0 = aw.virtual_placement(0, 1ull << 20);
+  const auto q1 = aw.virtual_placement(1, 1ull << 20);
+  EXPECT_EQ(q0.subarray, q1.subarray);
+}
+
+TEST(Allocator, PlacementPredicates) {
+  Placement a{0, 0, 3, 10, 4, 2, 1, 1, 1000};
+  Placement b{0, 0, 3, 11, 4, 2, 1, 1, 1000};
+  Placement c{0, 0, 3, 10, 6, 2, 1, 1, 1000};
+  Placement d{0, 1, 3, 10, 4, 2, 1, 1, 1000};
+  EXPECT_TRUE(a.same_subarray(b));
+  EXPECT_TRUE(a.column_aligned(b));
+  EXPECT_FALSE(a.rows_overlap(b));
+  EXPECT_FALSE(a.column_aligned(c));
+  EXPECT_TRUE(a.rows_overlap(a));
+  EXPECT_FALSE(a.same_rank(d));
+}
+
+}  // namespace
+}  // namespace pinatubo::core

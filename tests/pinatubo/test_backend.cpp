@@ -1,0 +1,198 @@
+#include "pinatubo/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/acpim_backend.hpp"
+#include "sim/ideal_backend.hpp"
+#include "sim/sdram_backend.hpp"
+#include "sim/simd_backend.hpp"
+
+namespace pinatubo::core {
+namespace {
+
+using sim::OpTrace;
+using sim::TraceOp;
+
+/// n-row sequential OR trace: `ops` ops, each ORing `n` consecutively
+/// allocated vectors of `bits` into a fresh destination.
+OpTrace seq_or_trace(std::size_t ops, unsigned n, std::uint64_t bits) {
+  OpTrace t;
+  t.name = "seq-or";
+  std::uint64_t next_id = 0;
+  for (std::size_t i = 0; i < ops; ++i) {
+    TraceOp op;
+    op.op = BitOp::kOr;
+    op.bits = bits;
+    for (unsigned k = 0; k < n; ++k) op.srcs.push_back(next_id++);
+    op.dst = op.srcs.back();  // in-place accumulate
+    t.ops.push_back(op);
+  }
+  return t;
+}
+
+OpTrace random_or_trace(std::size_t ops, unsigned n, std::uint64_t bits,
+                        std::uint64_t pool) {
+  OpTrace t;
+  t.name = "rand-or";
+  Rng rng(99);
+  for (std::size_t i = 0; i < ops; ++i) {
+    TraceOp op;
+    op.op = BitOp::kOr;
+    op.bits = bits;
+    for (unsigned k = 0; k < n; ++k)
+      op.srcs.push_back(rng.uniform_u64(pool));
+    op.dst = op.srcs.back();
+    t.ops.push_back(op);
+  }
+  return t;
+}
+
+TEST(PinatuboBackend, NameReflectsEffectiveRows) {
+  EXPECT_EQ(PinatuboBackend({}, {nvm::Tech::kPcm, 128}).name(),
+            "Pinatubo-128");
+  EXPECT_EQ(PinatuboBackend({}, {nvm::Tech::kPcm, 2}).name(), "Pinatubo-2");
+  // STT margin caps the config.
+  EXPECT_EQ(PinatuboBackend({}, {nvm::Tech::kSttMram, 128}).name(),
+            "Pinatubo-2");
+}
+
+TEST(PinatuboBackend, SequentialOpsClassifyIntra) {
+  PinatuboBackend pin({}, {nvm::Tech::kPcm, 128});
+  const auto trace = seq_or_trace(8, 128, 1ull << 14);
+  pin.execute(trace);
+  EXPECT_EQ(pin.last_class_counts().intra, 8u);
+  EXPECT_EQ(pin.last_class_counts().inter_sub, 0u);
+}
+
+TEST(PinatuboBackend, RandomOpsMostlyNotIntra) {
+  PinatuboBackend pin({}, {nvm::Tech::kPcm, 128});
+  const auto trace = random_or_trace(20, 128, 1ull << 14, 1ull << 16);
+  pin.execute(trace);
+  const auto& c = pin.last_class_counts();
+  EXPECT_GT(c.inter_sub + c.inter_bank, 10 * c.intra);
+}
+
+TEST(PinatuboBackend, MultiRowBeatsTwoRowOnSequentialOr) {
+  PinatuboBackend p128({}, {nvm::Tech::kPcm, 128});
+  PinatuboBackend p2({}, {nvm::Tech::kPcm, 2});
+  const auto trace = seq_or_trace(4, 128, 1ull << 19);
+  const double t128 = p128.execute(trace).bitwise.time_ns;
+  const double t2 = p2.execute(trace).bitwise.time_ns;
+  EXPECT_GT(t2, 20 * t128);
+}
+
+TEST(PinatuboBackend, RandomAccessCollapsesMultiRowAdvantage) {
+  // The paper's 14-16-7r observation: Pinatubo-128 as slow as Pinatubo-2.
+  PinatuboBackend p128({}, {nvm::Tech::kPcm, 128});
+  PinatuboBackend p2({}, {nvm::Tech::kPcm, 2});
+  const auto trace = random_or_trace(20, 128, 1ull << 14, 1ull << 16);
+  const double t128 = p128.execute(trace).bitwise.time_ns;
+  const double t2 = p2.execute(trace).bitwise.time_ns;
+  EXPECT_NEAR(t128 / t2, 1.0, 0.1);
+}
+
+TEST(PinatuboBackend, NaivePolicyDestroysIntraOps) {
+  PinatuboBackend aware({}, {nvm::Tech::kPcm, 128, AllocPolicy::kPimAware});
+  PinatuboBackend naive({}, {nvm::Tech::kPcm, 128, AllocPolicy::kNaive});
+  const auto trace = seq_or_trace(8, 16, 1ull << 14);
+  const double t_aware = aware.execute(trace).bitwise.time_ns;
+  const double t_naive = naive.execute(trace).bitwise.time_ns;
+  EXPECT_EQ(aware.last_class_counts().inter_sub, 0u);
+  EXPECT_GT(naive.last_class_counts().inter_sub +
+                naive.last_class_counts().inter_bank, 0u);
+  EXPECT_GT(t_naive, 2 * t_aware);
+}
+
+TEST(AllBackends, OrderingOnSequentialMultiRowOr) {
+  // The Fig. 10 ordering on a 7s-style workload:
+  // Pinatubo-128 > S-DRAM (and Pinatubo-2 in its vicinity) > AC-PIM >> SIMD.
+  const auto trace = seq_or_trace(8, 128, 1ull << 19);
+  PinatuboBackend p128({}, {nvm::Tech::kPcm, 128});
+  PinatuboBackend p2({}, {nvm::Tech::kPcm, 2});
+  sim::SdramBackend sdram;
+  sim::AcPimBackend acpim;
+  sim::SimdBackend simd_pcm(sim::MemKind::kPcm);
+  const double t_p128 = p128.execute(trace).bitwise.time_ns;
+  const double t_p2 = p2.execute(trace).bitwise.time_ns;
+  const double t_sdram = sdram.execute(trace).bitwise.time_ns;
+  const double t_acpim = acpim.execute(trace).bitwise.time_ns;
+  const double t_simd = simd_pcm.execute(trace).bitwise.time_ns;
+  EXPECT_LT(t_p128, t_sdram);
+  EXPECT_LT(t_sdram, t_acpim);
+  EXPECT_LT(t_acpim, t_simd);
+  EXPECT_LT(t_p128, t_p2);
+  // Headline scale: deep multi-row OR lands far beyond 100x.
+  EXPECT_GT(t_simd / t_p128, 300.0);
+}
+
+TEST(AllBackends, SdramBeatsPinatubo2OnLongTwoRowOr) {
+  // The paper's first Fig. 10 observation (19-16-1s): larger DRAM row
+  // buffers + no SA sharing make S-DRAM competitive on long 2-row ops.
+  const auto trace = seq_or_trace(16, 2, 1ull << 19);
+  PinatuboBackend p2({}, {nvm::Tech::kPcm, 2});
+  sim::SdramBackend sdram;
+  const double t_p2 = p2.execute(trace).bitwise.time_ns;
+  const double t_sdram = sdram.execute(trace).bitwise.time_ns;
+  EXPECT_LT(t_sdram, t_p2);
+}
+
+TEST(AllBackends, EnergyOrderingHoldsOnSequentialOr) {
+  const auto trace = seq_or_trace(8, 128, 1ull << 19);
+  PinatuboBackend p128({}, {nvm::Tech::kPcm, 128});
+  PinatuboBackend p2({}, {nvm::Tech::kPcm, 2});
+  sim::AcPimBackend acpim;
+  sim::SimdBackend simd_pcm(sim::MemKind::kPcm);
+  const double e_p128 = p128.execute(trace).bitwise.energy.total_pj();
+  const double e_p2 = p2.execute(trace).bitwise.energy.total_pj();
+  const double e_acpim = acpim.execute(trace).bitwise.energy.total_pj();
+  const double e_simd = simd_pcm.execute(trace).bitwise.energy.total_pj();
+  // AC-PIM never saves more energy than Pinatubo (paper Fig. 11).
+  EXPECT_LT(e_p128, e_p2);
+  EXPECT_LT(e_p2, e_acpim);
+  EXPECT_LT(e_acpim, e_simd);
+  EXPECT_GT(e_simd / e_p128, 1000.0);
+}
+
+TEST(IdealBackend, ZeroBitwiseCost) {
+  sim::IdealBackend ideal;
+  auto trace = seq_or_trace(4, 2, 1ull << 14);
+  trace.scalar_ops = 1000;
+  trace.scalar_bytes = 4096;
+  const auto r = ideal.execute(trace);
+  EXPECT_DOUBLE_EQ(r.bitwise.time_ns, 0.0);
+  EXPECT_DOUBLE_EQ(r.bitwise.energy.total_pj(), 0.0);
+  EXPECT_GT(r.scalar.time_ns, 0.0);
+}
+
+TEST(SimdBackend, DramFasterThanPcm) {
+  const auto trace = seq_or_trace(4, 2, 1ull << 19);
+  sim::SimdBackend dram(sim::MemKind::kDram);
+  sim::SimdBackend pcm(sim::MemKind::kPcm);
+  EXPECT_LT(dram.execute(trace).bitwise.time_ns,
+            pcm.execute(trace).bitwise.time_ns);
+}
+
+TEST(SdramBackend, XorFallsBackToCpu) {
+  OpTrace t;
+  TraceOp op;
+  op.op = BitOp::kXor;
+  op.bits = 1ull << 19;
+  op.srcs = {0, 1};
+  op.dst = 2;
+  t.ops.push_back(op);
+  sim::SdramBackend sdram;
+  sim::SimdBackend simd(sim::MemKind::kDram);
+  const double t_sdram = sdram.execute(t).bitwise.time_ns;
+  const double t_simd = simd.execute(t).bitwise.time_ns;
+  // Fallback: same order as plain CPU execution.
+  EXPECT_NEAR(t_sdram / t_simd, 1.0, 0.05);
+}
+
+TEST(TraceStats, TotalSrcBits) {
+  const auto trace = seq_or_trace(3, 4, 100);
+  EXPECT_EQ(trace.total_src_bits(), 3u * 4 * 100);
+  EXPECT_EQ(trace.op_count(), 3u);
+}
+
+}  // namespace
+}  // namespace pinatubo::core

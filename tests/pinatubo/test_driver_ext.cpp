@@ -1,0 +1,108 @@
+// pim_copy and the batched-submission API.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "pinatubo/driver.hpp"
+
+namespace pinatubo::core {
+namespace {
+
+class DriverExtTest : public ::testing::Test {
+ protected:
+  PimRuntime rt_;
+  Rng rng_{321};
+};
+
+TEST_F(DriverExtTest, CopyCoLocated) {
+  const auto a = rt_.pim_malloc(1ull << 14);
+  const auto b = rt_.pim_malloc(1ull << 14);
+  const auto v = BitVector::random(1ull << 14, 0.4, rng_);
+  rt_.pim_write(a, v);
+  rt_.pim_copy(a, b);
+  EXPECT_EQ(rt_.pim_read(b), v);
+  // Source untouched.
+  EXPECT_EQ(rt_.pim_read(a), v);
+  EXPECT_EQ(rt_.stats().intra_steps, 1u);
+  EXPECT_GT(rt_.cost().time_ns, 0.0);
+}
+
+TEST_F(DriverExtTest, CopyAcrossSubarrays) {
+  std::vector<PimRuntime::Handle> hs;
+  for (int i = 0; i < 4097; ++i) hs.push_back(rt_.pim_malloc(1ull << 14));
+  const auto v = BitVector::random(1ull << 14, 0.6, rng_);
+  rt_.pim_write(hs[0], v);
+  rt_.pim_copy(hs[0], hs[4096]);  // different subarray
+  EXPECT_EQ(rt_.pim_read(hs[4096]), v);
+  EXPECT_GE(rt_.stats().inter_sub_steps, 1u);
+}
+
+TEST_F(DriverExtTest, CopyLengthMismatchThrows) {
+  const auto a = rt_.pim_malloc(1000);
+  const auto b = rt_.pim_malloc(2000);
+  EXPECT_THROW(rt_.pim_copy(a, b), Error);
+}
+
+TEST_F(DriverExtTest, BatchMatchesSequential) {
+  const std::uint64_t bits = 1ull << 14;
+  std::vector<PimRuntime::Handle> h;
+  std::vector<BitVector> vals;
+  for (int i = 0; i < 8; ++i) {
+    h.push_back(rt_.pim_malloc(bits));
+    vals.push_back(BitVector::random(bits, 0.3, rng_));
+    rt_.pim_write(h.back(), vals.back());
+  }
+  // Two independent ops + one dependent.
+  std::vector<PimRuntime::BatchOp> batch;
+  batch.push_back({BitOp::kOr, {h[0], h[1]}, h[2]});
+  batch.push_back({BitOp::kAnd, {h[3], h[4]}, h[5]});
+  batch.push_back({BitOp::kXor, {h[2], h[5]}, h[6]});
+  rt_.pim_op_batch(batch);
+
+  const auto r_or = vals[0] | vals[1];
+  const auto r_and = vals[3] & vals[4];
+  EXPECT_EQ(rt_.pim_read(h[2]), r_or);
+  EXPECT_EQ(rt_.pim_read(h[5]), r_and);
+  EXPECT_EQ(rt_.pim_read(h[6]), (r_or ^ r_and));
+  EXPECT_EQ(rt_.stats().ops, 3u);
+}
+
+TEST_F(DriverExtTest, BatchNeverCostsMoreThanSequential) {
+  const std::uint64_t bits = 1ull << 14;
+  std::vector<PimRuntime::BatchOp> batch;
+  PimRuntime seq;
+  std::vector<PimRuntime::Handle> hb, hs;
+  Rng rng(9);
+  for (int i = 0; i < 12; ++i) {
+    hb.push_back(rt_.pim_malloc(bits));
+    hs.push_back(seq.pim_malloc(bits));
+    const auto v = BitVector::random(bits, 0.5, rng);
+    rt_.pim_write(hb.back(), v);
+    seq.pim_write(hs.back(), v);
+  }
+  for (int i = 0; i + 2 < 12; i += 3) {
+    batch.push_back({BitOp::kOr, {hb[i], hb[i + 1]}, hb[i + 2]});
+    seq.pim_op(BitOp::kOr, {hs[i], hs[i + 1]}, hs[i + 2]);
+  }
+  rt_.pim_op_batch(batch);
+  EXPECT_LE(rt_.cost().time_ns, seq.cost().time_ns + 1e-9);
+  // Same functional results.
+  for (int i = 0; i < 12; ++i)
+    EXPECT_EQ(rt_.pim_read(hb[i]), seq.pim_read(hs[i]));
+  // Same total energy (scheduling cannot change physics).
+  EXPECT_NEAR(rt_.cost().energy.total_pj(), seq.cost().energy.total_pj(),
+              1e-6 * seq.cost().energy.total_pj());
+}
+
+TEST_F(DriverExtTest, BatchRecordsCommands) {
+  PimRuntime::Options opts;
+  opts.record_commands = true;
+  PimRuntime rt(mem::Geometry{}, opts);
+  const auto a = rt.pim_malloc(512);
+  const auto b = rt.pim_malloc(512);
+  const auto c = rt.pim_malloc(512);
+  rt.pim_op_batch({{BitOp::kOr, {a, b}, c}});
+  EXPECT_FALSE(rt.commands().empty());
+}
+
+}  // namespace
+}  // namespace pinatubo::core
