@@ -50,5 +50,17 @@ int main(int argc, char** argv) {
              Table::mult(geomean(en_apps)), "1.11x"});
   t.add_note("overall = Graph + Fastbit applications, vs SIMD on PCM");
   t.print();
+
+  JsonReport json;
+  json.add("scale", scale);
+  json.add("bitwise_speedup_gmean", geomean(sp_bit));
+  json.add("bitwise_energy_gmean", geomean(en_bit));
+  json.add("app_speedup_gmean", geomean(sp_apps));
+  json.add("app_energy_gmean", geomean(en_apps));
+  json.add_array("bitwise_speedup", sp_bit);
+  json.add_array("bitwise_energy", en_bit);
+  json.add_array("app_speedup", sp_apps);
+  json.add_array("app_energy", en_apps);
+  json.write(parse_json_path(argc, argv));
   return 0;
 }

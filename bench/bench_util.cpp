@@ -1,6 +1,9 @@
 #include "bench_util.hpp"
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
@@ -74,6 +77,95 @@ double parse_scale(int argc, char** argv, double def) {
       return std::strtod(argv[i] + 8, nullptr);
   }
   return def;
+}
+
+bool parse_flag(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i)
+    if (flag == argv[i]) return true;
+  return false;
+}
+
+std::string parse_json_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      return argv[i + 1];
+  }
+  return {};
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void JsonReport::add(const std::string& key, double value) {
+  fields_.push_back("\"" + json_escape(key) + "\": " + json_number(value));
+}
+
+void JsonReport::add(const std::string& key, const std::string& value) {
+  fields_.push_back("\"" + json_escape(key) + "\": \"" + json_escape(value) +
+                    "\"");
+}
+
+void JsonReport::add_array(const std::string& key,
+                           const std::vector<double>& values) {
+  std::string out = "\"" + json_escape(key) + "\": [";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ", ";
+    out += json_number(values[i]);
+  }
+  fields_.push_back(out + "]");
+}
+
+void JsonReport::add_matrix(const std::string& key, const RatioMatrix& m) {
+  std::ostringstream os;
+  os << "\"" << json_escape(key) << "\": {\"workloads\": [";
+  for (std::size_t i = 0; i < m.workload_names.size(); ++i)
+    os << (i ? ", " : "") << "\"" << json_escape(m.workload_names[i]) << "\"";
+  os << "], \"backends\": [";
+  for (std::size_t i = 0; i < m.backend_names.size(); ++i)
+    os << (i ? ", " : "") << "\"" << json_escape(m.backend_names[i]) << "\"";
+  os << "], \"ratios\": [";
+  for (std::size_t w = 0; w < m.ratios.size(); ++w) {
+    os << (w ? ", " : "") << "[";
+    for (std::size_t b = 0; b < m.ratios[w].size(); ++b)
+      os << (b ? ", " : "") << json_number(m.ratios[w][b]);
+    os << "]";
+  }
+  os << "], \"gmean\": [";
+  for (std::size_t i = 0; i < m.gmean.size(); ++i)
+    os << (i ? ", " : "") << json_number(m.gmean[i]);
+  os << "]}";
+  fields_.push_back(os.str());
+}
+
+void JsonReport::write(const std::string& path) const {
+  if (path.empty()) return;
+  std::ofstream f(path);
+  PIN_CHECK_MSG(f.good(), "cannot write " << path);
+  f << "{\n";
+  for (std::size_t i = 0; i < fields_.size(); ++i)
+    f << "  " << fields_[i] << (i + 1 < fields_.size() ? "," : "") << "\n";
+  f << "}\n";
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace pinatubo::bench

@@ -58,4 +58,29 @@ Table matrix_table(const std::string& title, const RatioMatrix& m,
 /// Parses a leading "--scale=<f>" style arg list into a workload scale.
 double parse_scale(int argc, char** argv, double def = 1.0);
 
+/// True when `--<name>` appears among the args.
+bool parse_flag(int argc, char** argv, const std::string& name);
+
+/// Path given as "--json <path>" or "--json=<path>"; empty when absent.
+std::string parse_json_path(int argc, char** argv);
+
+/// Minimal JSON object writer for machine-readable bench output
+/// (BENCH_*.json files consumed by the perf-trajectory tooling).
+class JsonReport {
+ public:
+  void add(const std::string& key, double value);
+  void add(const std::string& key, const std::string& value);
+  void add_array(const std::string& key, const std::vector<double>& values);
+  /// Emits the ratio matrix as {"workloads", "backends", "ratios", "gmean"}
+  /// under `key`.
+  void add_matrix(const std::string& key, const RatioMatrix& m);
+
+  /// Writes `{ ... }` to `path` and prints a one-line note; no-op when
+  /// `path` is empty (callers pass parse_json_path's result directly).
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<std::string> fields_;  // pre-rendered `"key": value` pairs
+};
+
 }  // namespace pinatubo::bench

@@ -41,7 +41,12 @@ double ChannelTimer::issue_all_banks(double occupy_ns) {
 
 double ChannelTimer::issue_data(unsigned bank, double occupy_ns,
                                 std::uint64_t bytes) {
-  const double bank_done = issue(bank, occupy_ns);
+  return issue_data_after(bank, 0.0, occupy_ns, bytes);
+}
+
+double ChannelTimer::issue_data_after(unsigned bank, double ready_ns,
+                                      double occupy_ns, std::uint64_t bytes) {
+  const double bank_done = issue_after(bank, ready_ns, occupy_ns);
   const double start = std::max(bank_done, data_free_);
   data_free_ = start + static_cast<double>(bytes) / bytes_per_ns_;
   return data_free_;
@@ -50,6 +55,11 @@ double ChannelTimer::issue_data(unsigned bank, double occupy_ns,
 double ChannelTimer::transfer(std::uint64_t bytes) {
   data_free_ += static_cast<double>(bytes) / bytes_per_ns_;
   return data_free_;
+}
+
+double ChannelTimer::bank_free_ns(unsigned bank) const {
+  PIN_CHECK_MSG(bank < banks_.size(), "bank " << bank);
+  return std::max(cmd_free_, banks_[bank]);
 }
 
 double ChannelTimer::finish_ns() const {

@@ -39,12 +39,21 @@ class ChannelTimer {
   /// after the bank operation completes.  Returns burst completion time.
   double issue_data(unsigned bank, double occupy_ns, std::uint64_t bytes);
 
+  /// Like `issue_data`, but the command additionally waits until `ready_ns`
+  /// (a data dependency on an earlier operation).  The burst still
+  /// serializes on the shared data bus.  Returns burst completion time.
+  double issue_data_after(unsigned bank, double ready_ns, double occupy_ns,
+                          std::uint64_t bytes);
+
   /// Pure data-bus transfer (e.g. CPU read of a result already in a buffer).
   double transfer(std::uint64_t bytes);
 
   /// Latest completion time across all resources.
   double finish_ns() const;
   double now_cmd_bus() const { return cmd_free_; }
+  /// Earliest time a command to `bank` could start (bank + command bus
+  /// free); lets a scheduler pick the next issue without mutating state.
+  double bank_free_ns(unsigned bank) const;
   unsigned bank_count() const { return static_cast<unsigned>(banks_.size()); }
 
   void reset();

@@ -1,6 +1,7 @@
 #include "pinatubo/backend.hpp"
 
 #include "common/error.hpp"
+#include "pinatubo/engine.hpp"
 
 namespace pinatubo::core {
 
@@ -34,18 +35,23 @@ sim::BackendResult PinatuboBackend::execute(const sim::OpTrace& trace) {
   PinatuboCostModel model(geo_, cfg_.tech, trace.result_density);
   classes_ = {};
   sim::BackendResult result;
+  std::vector<OpPlan> plans;
+  plans.reserve(trace.ops.size());
   for (const auto& op : trace.ops) {
     std::vector<Placement> srcs;
     srcs.reserve(op.srcs.size());
     for (const auto id : op.srcs)
       srcs.push_back(alloc_.virtual_placement(id, op.bits));
     const Placement dst = alloc_.virtual_placement(op.dst, op.bits);
-    const OpPlan plan = sched_.plan(op.op, srcs, dst, op.host_reads_result);
-    classes_.intra += plan.count(StepKind::kIntraSub);
-    classes_.inter_sub += plan.count(StepKind::kInterSub);
-    classes_.inter_bank += plan.count(StepKind::kInterBank);
-    result.bitwise += model.plan_cost(plan);
+    plans.push_back(sched_.plan(op.op, srcs, dst, op.host_reads_result));
+    classes_.intra += plans.back().count(StepKind::kIntraSub);
+    classes_.inter_sub += plans.back().count(StepKind::kInterSub);
+    classes_.inter_bank += plans.back().count(StepKind::kInterBank);
   }
+  // The whole trace is one batch: the engine overlaps independent ops
+  // across ranks (or serializes them under cfg.serial).
+  const ExecutionEngine engine(model, EngineOptions{cfg_.serial});
+  result.bitwise = engine.run(plans).cost;
   // Scalar remainder on the host CPU over PCM.
   sim::SimdCpuModel host({}, sim::MemKind::kPcm);
   result.scalar = host.scalar(trace.scalar_ops, trace.scalar_bytes);

@@ -22,6 +22,9 @@ struct PinatuboBackendConfig {
   nvm::Tech tech = nvm::Tech::kPcm;
   unsigned max_rows = 128;
   AllocPolicy policy = AllocPolicy::kPimAware;
+  /// Price traces as the program-order serial sum instead of the
+  /// execution engine's dependency-aware overlapped schedule.
+  bool serial = false;
 };
 
 class PinatuboBackend final : public sim::Backend {

@@ -120,29 +120,11 @@ mem::Cost PinatuboCostModel::plan_cost(const OpPlan& plan) const {
   return total;
 }
 
-mem::Cost PinatuboCostModel::pipelined_cost(
-    const std::vector<OpPlan>& plans) const {
-  // One resource per rank (the lock-step bank cluster executing a step)
-  // plus the shared command bus inside ChannelTimer.
-  const unsigned ranks = geo_.channels * geo_.ranks_per_channel;
-  mem::ChannelTimer timer(ranks, bus_);
-  mem::Cost total;
-  for (const auto& plan : plans) {
-    double prev_done = 0.0;
-    for (const auto& s : plan.steps) {
-      const mem::Cost c = step_cost(s);
-      total.energy.merge(c.energy);
-      const unsigned rank = s.channel * geo_.ranks_per_channel + s.rank;
-      // One timer event per step: its full duration (which already
-      // includes the step's own command slots) occupies the executing
-      // rank; the shared command bus charges one slot per step for
-      // cross-rank contention (the rest of the slots are inside the
-      // occupancy).  Data dependencies within a plan order its steps.
-      prev_done = timer.issue_after(rank, prev_done, c.time_ns);
-    }
-  }
-  total.time_ns = timer.finish_ns();
-  return total;
+std::uint64_t PinatuboCostModel::step_bus_bytes(const PlanStep& s) const {
+  if (s.kind == StepKind::kHostRead) return s.bits / 8;
+  if (s.kind == StepKind::kInterBank && s.crosses_rank)
+    return sensed_bits(s) / 8;  // one operand hops between ranks
+  return 0;
 }
 
 std::vector<mem::Command> PinatuboCostModel::lower(const OpPlan& plan) const {
@@ -154,58 +136,59 @@ std::vector<mem::Command> PinatuboCostModel::lower(const OpPlan& plan) const {
   //   PIM_GDL/IO addr = dst row,       aux = col_start | (col_steps << 8)
   //   PIM_WB     addr = dst row,       aux = col_start | (col_steps << 8)
   std::vector<mem::Command> cmds;
-  for (const auto& s : plan.steps) {
-    mem::RowAddr base;
-    base.channel = s.channel;
-    base.rank = s.rank;
-    base.subarray = s.subarray;
-    base.row = s.row % geo_.rows_per_subarray;
-    const std::uint32_t window =
-        s.col_start | (static_cast<std::uint32_t>(s.col_steps) << 8);
-    switch (s.kind) {
-      case StepKind::kIntraSub: {
-        cmds.push_back({mem::CmdKind::kModeSet, base, s.op, 0});
-        cmds.push_back({mem::CmdKind::kPimReset, base, s.op, 0});
-        for (std::uint32_t r = 0; r < s.reads.size(); ++r)
-          cmds.push_back({mem::CmdKind::kAct, s.reads[r], s.op, r});
-        for (unsigned c = 0; c < s.col_steps; ++c)
-          cmds.push_back({mem::CmdKind::kPimSense, base, s.op,
-                          s.col_start + c});
-        if (s.writeback)
-          cmds.push_back({mem::CmdKind::kPimWriteback, s.write, s.op,
-                          window});
-        break;
+  for (const auto& s : plan.steps) lower_step(s, cmds);
+  return cmds;
+}
+
+void PinatuboCostModel::lower_step(const PlanStep& s,
+                                   std::vector<mem::Command>& out) const {
+  mem::RowAddr base;
+  base.channel = s.channel;
+  base.rank = s.rank;
+  base.subarray = s.subarray;
+  base.row = s.row % geo_.rows_per_subarray;
+  const std::uint32_t window =
+      s.col_start | (static_cast<std::uint32_t>(s.col_steps) << 8);
+  switch (s.kind) {
+    case StepKind::kIntraSub: {
+      out.push_back({mem::CmdKind::kModeSet, base, s.op, 0});
+      out.push_back({mem::CmdKind::kPimReset, base, s.op, 0});
+      for (std::uint32_t r = 0; r < s.reads.size(); ++r)
+        out.push_back({mem::CmdKind::kAct, s.reads[r], s.op, r});
+      for (unsigned c = 0; c < s.col_steps; ++c)
+        out.push_back({mem::CmdKind::kPimSense, base, s.op,
+                       s.col_start + c});
+      if (s.writeback)
+        out.push_back({mem::CmdKind::kPimWriteback, s.write, s.op, window});
+      break;
+    }
+    case StepKind::kInterSub:
+    case StepKind::kInterBank: {
+      const auto kind = s.kind == StepKind::kInterSub
+                            ? mem::CmdKind::kPimGdlOp
+                            : mem::CmdKind::kPimIoOp;
+      out.push_back({mem::CmdKind::kModeSet, base, s.op, 0});
+      for (std::uint32_t r = 0; r < s.reads.size(); ++r) {
+        const std::uint32_t col =
+            r < s.read_cols.size() ? s.read_cols[r] : s.col_start;
+        out.push_back({mem::CmdKind::kPimLoad, s.reads[r], s.op,
+                       r | (col << 8)});
       }
-      case StepKind::kInterSub:
-      case StepKind::kInterBank: {
-        const auto kind = s.kind == StepKind::kInterSub
-                              ? mem::CmdKind::kPimGdlOp
-                              : mem::CmdKind::kPimIoOp;
-        cmds.push_back({mem::CmdKind::kModeSet, base, s.op, 0});
-        for (std::uint32_t r = 0; r < s.reads.size(); ++r) {
-          const std::uint32_t col =
-              r < s.read_cols.size() ? s.read_cols[r] : s.col_start;
-          cmds.push_back({mem::CmdKind::kPimLoad, s.reads[r], s.op,
-                          r | (col << 8)});
+      out.push_back({kind, base, s.op, window});
+      if (s.writeback)
+        out.push_back({mem::CmdKind::kPimWriteback, s.write, s.op, window});
+      break;
+    }
+    case StepKind::kHostRead: {
+      for (unsigned b = 0; b < geo_.banks_per_chip; ++b)
+        for (unsigned c = 0; c < s.col_steps; ++c) {
+          mem::RowAddr a = s.reads.empty() ? base : s.reads[0];
+          a.bank = b;
+          out.push_back({mem::CmdKind::kRead, a, s.op, s.col_start + c});
         }
-        cmds.push_back({kind, base, s.op, window});
-        if (s.writeback)
-          cmds.push_back({mem::CmdKind::kPimWriteback, s.write, s.op,
-                          window});
-        break;
-      }
-      case StepKind::kHostRead: {
-        for (unsigned b = 0; b < geo_.banks_per_chip; ++b)
-          for (unsigned c = 0; c < s.col_steps; ++c) {
-            mem::RowAddr a = s.reads.empty() ? base : s.reads[0];
-            a.bank = b;
-            cmds.push_back({mem::CmdKind::kRead, a, s.op, s.col_start + c});
-          }
-        break;
-      }
+      break;
     }
   }
-  return cmds;
 }
 
 }  // namespace pinatubo::core

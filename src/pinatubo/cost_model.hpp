@@ -3,8 +3,9 @@
 // DDR commands").
 //
 // Timing model per step (banks and chips of the executing rank operate in
-// lock-step *inside* a step; steps execute serially, as the synchronous
-// driver issues them):
+// lock-step *inside* a step; the execution engine decides how steps
+// compose — serial sum within a dependency chain, overlapped across
+// independent ranks/channels):
 //
 //   intra-sub:  [MRS] [RESET]xB [ACT]xrowsxB [SENSE]xcolsxB [WB]xB on the
 //               command bus, then tRCD + (cols-1)*tCL sensing and tWR
@@ -36,18 +37,20 @@ class PinatuboCostModel {
   PinatuboCostModel(const mem::Geometry& geo, nvm::Tech tech,
                     double result_density = 0.5);
 
-  /// Cost of one step (steps are serial, so plan cost is the sum).
+  /// Cost of one step in isolation (the unit the execution engine prices;
+  /// energy is schedule-invariant, time composes per the schedule).
   mem::Cost step_cost(const PlanStep& step) const;
-  /// Cost of a full plan.
+  /// Serial-sum cost of a full plan (a dependency chain of its steps).
   mem::Cost plan_cost(const OpPlan& plan) const;
 
-  /// Extension study (not in the paper): a pipelining controller that
-  /// keeps the synchronous driver's per-plan step order but overlaps
-  /// steps of DIFFERENT plans when they execute on different ranks,
-  /// serializing only on the shared command bus.  Returns the makespan
-  /// and total energy (energy is schedule-invariant).
-  mem::Cost pipelined_cost(const std::vector<OpPlan>& plans) const;
+  /// Bytes the step moves over the shared DDR data bus (host-read bursts
+  /// and cross-rank operand hops; 0 for steps that stay inside a rank).
+  std::uint64_t step_bus_bytes(const PlanStep& step) const;
 
+  /// Lowers one step into its DDR command sequence.  Sequences are
+  /// self-contained (each starts with a mode-set), so the engine may
+  /// interleave steps of different plans in schedule order.
+  void lower_step(const PlanStep& step, std::vector<mem::Command>& out) const;
   /// Lowers a plan into the DDR command stream the driver would issue.
   std::vector<mem::Command> lower(const OpPlan& plan) const;
 
@@ -55,6 +58,7 @@ class PinatuboCostModel {
   std::uint64_t command_count(const PlanStep& step) const;
 
   const mem::Geometry& geometry() const { return geo_; }
+  const mem::BusParams& bus() const { return bus_; }
   nvm::Tech tech() const { return tech_; }
 
  private:

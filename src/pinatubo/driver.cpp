@@ -13,7 +13,8 @@ PimRuntime::PimRuntime(const mem::Geometry& geo, const Options& opts)
     : opts_(opts), mem_(geo, opts.tech, opts.fidelity, opts.seed),
       alloc_(geo, opts.policy),
       sched_(geo, SchedulerConfig{opts.max_rows, opts.tech}),
-      cost_model_(geo, opts.tech, opts.result_density) {}
+      cost_model_(geo, opts.tech, opts.result_density),
+      engine_(cost_model_, EngineOptions{opts.serial_execution}) {}
 
 PimRuntime::Handle PimRuntime::pim_malloc(std::uint64_t bits) {
   const Placement p = alloc_.allocate(bits);
@@ -165,6 +166,52 @@ void PimRuntime::execute_intra(BitOp op, const std::vector<Placement>& srcs_in,
   }
 }
 
+void PimRuntime::submit(OpPlan plan) {
+  ++stats_.ops;
+  stats_.intra_steps += plan.count(StepKind::kIntraSub);
+  stats_.inter_sub_steps += plan.count(StepKind::kInterSub);
+  stats_.inter_bank_steps += plan.count(StepKind::kInterBank);
+  stats_.host_reads += plan.count(StepKind::kHostRead);
+  if (in_batch_) {
+    batch_plans_.push_back(std::move(plan));
+    return;
+  }
+  const std::vector<OpPlan> one{std::move(plan)};
+  flush(one);
+}
+
+void PimRuntime::flush(const std::vector<OpPlan>& plans) {
+  const ExecutionEngine::Result r = engine_.run(plans);
+  cost_ += r.cost;
+  ++stats_.batches;
+  stats_.serial_time_ns += r.serial_time_ns;
+  stats_.bus_bytes += r.profile.bus_bytes;
+  for (std::size_t k = 0; k < kStepKindCount; ++k) {
+    stats_.by_class[k].time_ns += r.profile.time_ns[k];
+    stats_.by_class[k].energy_pj += r.profile.energy_pj[k];
+    stats_.by_class[k].steps += r.profile.steps[k];
+  }
+  if (opts_.record_commands) {
+    // Commands interleave across plans in schedule order; each step's
+    // sequence is self-contained, so the stream stays replayable.
+    for (const auto& ss : r.schedule)
+      cost_model_.lower_step(plans[ss.plan].steps[ss.step], commands_);
+  }
+}
+
+void PimRuntime::pim_begin() {
+  PIN_CHECK_MSG(!in_batch_, "pim_begin: batch already open");
+  in_batch_ = true;
+}
+
+void PimRuntime::pim_barrier() {
+  PIN_CHECK_MSG(in_batch_, "pim_barrier without pim_begin");
+  in_batch_ = false;
+  const std::vector<OpPlan> plans = std::move(batch_plans_);
+  batch_plans_.clear();
+  if (!plans.empty()) flush(plans);
+}
+
 void PimRuntime::pim_op(BitOp op, const std::vector<Handle>& srcs, Handle dst,
                         bool host_reads_result) {
   std::vector<Placement> src_p;
@@ -172,22 +219,12 @@ void PimRuntime::pim_op(BitOp op, const std::vector<Handle>& srcs, Handle dst,
   for (const Handle h : srcs) src_p.push_back(placement(h));
   const Placement& dst_p = placement(dst);
 
-  const OpPlan plan = sched_.plan(op, src_p, dst_p, host_reads_result);
-
-  // Cost + stats + (optional) command stream.
-  cost_ += cost_model_.plan_cost(plan);
-  ++stats_.ops;
-  stats_.intra_steps += plan.count(StepKind::kIntraSub);
-  stats_.inter_sub_steps += plan.count(StepKind::kInterSub);
-  stats_.inter_bank_steps += plan.count(StepKind::kInterBank);
-  stats_.host_reads += plan.count(StepKind::kHostRead);
-  if (opts_.record_commands) {
-    auto cmds = cost_model_.lower(plan);
-    commands_.insert(commands_.end(), cmds.begin(), cmds.end());
-  }
-
-  // Functional execution.
+  OpPlan plan = sched_.plan(op, src_p, dst_p, host_reads_result);
   const bool intra = plan.count(StepKind::kIntraSub) > 0;
+  submit(std::move(plan));
+
+  // Functional execution (eager even inside a batch: program order keeps
+  // interleaved pim_write / pim_read semantics; only pricing defers).
   if (intra) {
     execute_intra(op, src_p, dst_p, sched_.effective_max_rows(op));
   } else {
@@ -208,53 +245,14 @@ void PimRuntime::pim_copy(Handle src, Handle dst) {
   // A copy is a 1-row sense feeding the WDs: price it as an INV plan
   // (identical datapath; the differential output tap is free) and execute
   // the straight copy functionally.
-  const OpPlan plan = sched_.plan(BitOp::kInv, {src_p}, dst_p, false);
-  cost_ += cost_model_.plan_cost(plan);
-  ++stats_.ops;
-  stats_.intra_steps += plan.count(StepKind::kIntraSub);
-  stats_.inter_sub_steps += plan.count(StepKind::kInterSub);
-  stats_.inter_bank_steps += plan.count(StepKind::kInterBank);
+  submit(sched_.plan(BitOp::kInv, {src_p}, dst_p, false));
   scatter(dst_p, gather(src_p));
 }
 
 void PimRuntime::pim_op_batch(const std::vector<BatchOp>& ops) {
-  std::vector<OpPlan> plans;
-  plans.reserve(ops.size());
-  for (const auto& o : ops) {
-    std::vector<Placement> src_p;
-    for (const Handle h : o.srcs) src_p.push_back(placement(h));
-    plans.push_back(sched_.plan(o.op, src_p, placement(o.dst), false));
-  }
-  // Pipelined pricing over the whole batch...
-  cost_ += cost_model_.pipelined_cost(plans);
-  // ...then in-order functional execution (results are order-identical
-  // because the pipeline respects each op's internal dependencies and
-  // callers are responsible for inter-op independence, as with any
-  // asynchronous submission API).
-  for (std::size_t i = 0; i < ops.size(); ++i) {
-    const auto& o = ops[i];
-    ++stats_.ops;
-    stats_.intra_steps += plans[i].count(StepKind::kIntraSub);
-    stats_.inter_sub_steps += plans[i].count(StepKind::kInterSub);
-    stats_.inter_bank_steps += plans[i].count(StepKind::kInterBank);
-    if (opts_.record_commands) {
-      auto cmds = cost_model_.lower(plans[i]);
-      commands_.insert(commands_.end(), cmds.begin(), cmds.end());
-    }
-    std::vector<Placement> src_p;
-    for (const Handle h : o.srcs) src_p.push_back(placement(h));
-    const bool intra = plans[i].count(StepKind::kIntraSub) > 0;
-    if (intra) {
-      execute_intra(o.op, src_p, placement(o.dst),
-                    sched_.effective_max_rows(o.op));
-    } else {
-      std::vector<BitVector> operands;
-      for (const auto& p : src_p) operands.push_back(gather(p));
-      std::vector<const BitVector*> ptrs;
-      for (const auto& v : operands) ptrs.push_back(&v);
-      scatter(placement(o.dst), BitVector::reduce(o.op, ptrs));
-    }
-  }
+  pim_begin();
+  for (const auto& o : ops) pim_op(o.op, o.srcs, o.dst, false);
+  pim_barrier();
 }
 
 void PimRuntime::reset_cost() {

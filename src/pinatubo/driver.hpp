@@ -2,6 +2,9 @@
 //
 //   pim_malloc(bits)                 -> Handle
 //   pim_op(op, {srcs...}, dst)       -> executes in memory
+//   pim_begin() / pim_barrier()      -> batch window: enqueued ops are
+//                                      priced together by the execution
+//                                      engine (independent steps overlap)
 //
 // plus data movement (pim_write / pim_read) and teardown (pim_free).
 //
@@ -23,6 +26,7 @@
 #include "mem/mainmem.hpp"
 #include "pinatubo/allocator.hpp"
 #include "pinatubo/cost_model.hpp"
+#include "pinatubo/engine.hpp"
 #include "pinatubo/scheduler.hpp"
 
 namespace pinatubo::core {
@@ -38,7 +42,15 @@ class PimRuntime {
     unsigned max_rows = 128;        ///< Pinatubo-2 vs Pinatubo-128
     double result_density = 0.5;    ///< SET/RESET mix for write energy
     bool record_commands = false;   ///< keep the lowered DDR stream
+    bool serial_execution = false;  ///< price ops as the serial step sum
     std::uint64_t seed = 1;
+  };
+
+  /// Per-step-class share of the accumulated cost.
+  struct ClassBreakdown {
+    double time_ns = 0.0;    ///< summed (serial) step time of the class
+    double energy_pj = 0.0;
+    std::uint64_t steps = 0;
   };
 
   struct Stats {
@@ -47,6 +59,11 @@ class PimRuntime {
     std::uint64_t inter_sub_steps = 0;
     std::uint64_t inter_bank_steps = 0;
     std::uint64_t host_reads = 0;
+    std::uint64_t batches = 0;     ///< engine flushes (sync op = batch of 1)
+    std::uint64_t bus_bytes = 0;   ///< data moved over the DDR bus
+    double serial_time_ns = 0.0;   ///< no-overlap baseline for cost().time_ns
+    /// Breakdown by step class, indexed by `step_index(StepKind)`.
+    ClassBreakdown by_class[kStepKindCount] = {};
   };
 
   explicit PimRuntime(const mem::Geometry& geo = {});
@@ -72,10 +89,23 @@ class PimRuntime {
   /// vectors are co-located, a buffer move otherwise.
   void pim_copy(Handle src, Handle dst);
 
-  /// Batched submission: all ops are planned first, then priced under the
-  /// pipelining controller (independent ops on different ranks overlap;
-  /// see PinatuboCostModel::pipelined_cost).  Functionally identical to
-  /// issuing the ops in order.
+  /// Opens a batch window.  Subsequent pim_op / pim_copy calls still
+  /// execute functionally right away (program order, so interleaving
+  /// pim_write / pim_read with enqueued ops keeps its meaning), but their
+  /// plans accumulate and are priced together at pim_barrier().
+  void pim_begin();
+  /// Flushes the open batch through the execution engine: builds the
+  /// read/write dependency graph over all enqueued plans, overlaps
+  /// independent steps across ranks/channels, accrues the schedule's
+  /// makespan + energy, and (when record_commands) appends the command
+  /// streams interleaved in schedule order.
+  void pim_barrier();
+  /// Whether a pim_begin() window is currently open.
+  bool in_batch() const { return in_batch_; }
+
+  /// Convenience batched submission: equivalent to pim_begin(), the ops
+  /// in order, pim_barrier().  Functionally identical to issuing the ops
+  /// synchronously.
   struct BatchOp {
     BitOp op;
     std::vector<Handle> srcs;
@@ -110,17 +140,25 @@ class PimRuntime {
   /// Executes an intra-subarray chained sense per the plan semantics.
   void execute_intra(BitOp op, const std::vector<Placement>& srcs,
                      const Placement& dst, unsigned max_rows);
+  /// Counts the plan into stats and routes it: enqueue when a batch is
+  /// open, price as a batch-of-one otherwise.
+  void submit(OpPlan plan);
+  /// Prices a batch through the engine and accrues cost/stats/commands.
+  void flush(const std::vector<OpPlan>& plans);
 
   Options opts_;
   mem::MainMemory mem_;
   RowAllocator alloc_;
   OpScheduler sched_;
   PinatuboCostModel cost_model_;
+  ExecutionEngine engine_;
   std::unordered_map<Handle, Placement> vectors_;
   Handle next_handle_ = 1;
   mem::Cost cost_;
   Stats stats_;
   std::vector<mem::Command> commands_;
+  bool in_batch_ = false;
+  std::vector<OpPlan> batch_plans_;
 };
 
 }  // namespace pinatubo::core

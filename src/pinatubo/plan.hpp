@@ -2,6 +2,7 @@
 // operation into (paper §4.1's three op classes plus the host fallback).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -17,6 +18,12 @@ enum class StepKind : std::uint8_t {
   kInterBank,  ///< IO-buffer digital logic; crosses clusters (bus hop)
   kHostRead,   ///< result streamed to the host over the DDR bus
 };
+
+/// Number of step classes (per-class accounting arrays index by StepKind).
+inline constexpr std::size_t kStepKindCount = 4;
+constexpr std::size_t step_index(StepKind k) {
+  return static_cast<std::size_t>(k);
+}
 
 const char* to_string(StepKind k);
 
@@ -47,6 +54,22 @@ struct PlanStep {
   std::vector<unsigned> read_cols;
   /// Destination row of the writeback (valid when `writeback`).
   mem::RowAddr write;
+
+  // ---- resource annotations (execution-engine scheduling) ---------------
+  /// Global id of the execution resource this step occupies: the lock-step
+  /// bank cluster, i.e. one rank of one channel.  Steps with different
+  /// resource ids can overlap in time (different ranks/channels); steps
+  /// sharing one serialize on it.
+  unsigned resource(unsigned ranks_per_channel) const {
+    return channel * ranks_per_channel + rank;
+  }
+  /// Whether the step moves real data over the shared DDR data bus (host
+  /// result bursts and cross-rank operand hops); such transfers serialize
+  /// at the channel bandwidth even across ranks.
+  bool uses_data_bus() const {
+    return kind == StepKind::kHostRead ||
+           (kind == StepKind::kInterBank && crosses_rank);
+  }
 };
 
 /// A lowered logical operation.

@@ -39,7 +39,7 @@ void CommandReplayer::execute(const mem::Command& cmd) {
 
   switch (cmd.kind) {
     case mem::CmdKind::kModeSet: {
-      mode_ = cmd.op;
+      rank.mode = cmd.op;
       rank.sa_latch.clear();
       rank.sensed_stripes.clear();
       rank.buffer.clear();
@@ -84,7 +84,7 @@ void CommandReplayer::execute(const mem::Command& cmd) {
         for (unsigned b = 0; b < g.banks_per_chip; ++b) {
           std::vector<mem::RowAddr> rows = rank.open_rows;
           for (auto& r : rows) r.bank = b;
-          rank.sa_latch.push_back(mem_.sense_rows(rows, mode_));
+          rank.sa_latch.push_back(mem_.sense_rows(rows, rank.mode));
         }
       }
       rank.sensed_stripes.push_back(cmd.aux);
@@ -132,13 +132,14 @@ void CommandReplayer::execute(const mem::Command& cmd) {
       };
       rank.buffer_result.clear();
       for (unsigned b = 0; b < g.banks_per_chip; ++b) {
-        if (mode_ == BitOp::kInv) {
+        if (rank.mode == BitOp::kInv) {
           rank.buffer_result.push_back(~shifted(rank.buffer[0], b));
         } else {
           PIN_CHECK_MSG(rank.buffer.size() >= 2 &&
                             !rank.buffer[1].rows.empty(),
                         "binary buffer op needs two latched rows");
-          rank.buffer_result.push_back(apply(mode_, shifted(rank.buffer[0], b),
+          rank.buffer_result.push_back(apply(rank.mode,
+                                             shifted(rank.buffer[0], b),
                                              shifted(rank.buffer[1], b)));
         }
       }

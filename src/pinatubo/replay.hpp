@@ -57,9 +57,12 @@ class CommandReplayer {
              std::tie(o.channel, o.rank, o.subarray);
     }
   };
-  /// Per-rank PIM state: the open-row set, the SA result latches (one
-  /// full rank-row per bank), sensed stripes, and the two buffer slots.
+  /// Per-rank PIM state: the MR4 mode register, the open-row set, the SA
+  /// result latches (one full rank-row per bank), sensed stripes, and the
+  /// two buffer slots.  Keeping MR4 per rank lets the engine interleave
+  /// the command streams of steps executing on different ranks.
   struct RankState {
+    BitOp mode = BitOp::kOr;  ///< MR4 contents
     std::optional<SubarrayKey> open_subarray;
     std::vector<mem::RowAddr> open_rows;        // bank 0 coordinates
     std::vector<BitVector> sa_latch;            // per bank, after sensing
@@ -79,7 +82,6 @@ class CommandReplayer {
                      const std::vector<unsigned>& stripes);
 
   mem::MainMemory& mem_;
-  BitOp mode_ = BitOp::kOr;  ///< MR4 contents
   std::map<std::pair<unsigned, unsigned>, RankState> ranks_;
   std::map<SubarrayKey, circuit::LwlDriverArray> lwl_;
   Stats stats_;

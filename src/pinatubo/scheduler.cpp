@@ -108,8 +108,14 @@ OpPlan OpScheduler::plan(BitOp op, const std::vector<Placement>& srcs,
     rd.subarray = dst.subarray;
     rd.row = dst.first_row;
     rd.col_start = dst.col_stripe;
-    rd.reads = {mem::RowAddr{dst.channel, dst.rank, 0, dst.subarray,
-                             dst.first_row}};
+    // One operand row per group so the engine sees the data dependency on
+    // every group's result (groups rotate across ranks).  reads[0] is the
+    // group-0 row, which is what the lowered RD bursts address.
+    rd.reads.reserve(dst.groups);
+    for (std::uint64_t g = 0; g < dst.groups; ++g)
+      rd.reads.push_back(mem::RowAddr{
+          dst.channel, dst.group_rank(g, geo_.ranks_per_channel), 0,
+          dst.subarray, dst.group_row(g, geo_.ranks_per_channel)});
     out.steps.push_back(rd);
   }
   return out;

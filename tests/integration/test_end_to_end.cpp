@@ -188,6 +188,64 @@ TEST(EndToEnd, AllBackendsPriceTheSuite) {
   }
 }
 
+TEST(EndToEnd, BatchedExecutionBitIdenticalToSync) {
+  // The same random op program, once synchronous and once with a
+  // pim_begin/pim_barrier window around every run of 8 ops, must leave
+  // all vectors bit-identical; batching may only shrink the makespan.
+  core::PimRuntime sync, batched;
+  Rng rng(42);
+  const std::uint64_t bits = (1ull << 20) + 777;  // multi-group, ragged tail
+  constexpr int kVectors = 10;
+  std::vector<core::PimRuntime::Handle> hs, hb;
+  for (int i = 0; i < kVectors; ++i) {
+    hs.push_back(sync.pim_malloc(bits));
+    hb.push_back(batched.pim_malloc(bits));
+    const auto v = BitVector::random(bits, rng.uniform(0.1, 0.9), rng);
+    sync.pim_write(hs.back(), v);
+    batched.pim_write(hb.back(), v);
+  }
+  for (int step = 0; step < 24; ++step) {
+    if (step % 8 == 0) batched.pim_begin();
+    const auto op = static_cast<BitOp>(rng.uniform_u64(4));
+    const auto dst = static_cast<std::size_t>(rng.uniform_u64(kVectors));
+    std::vector<std::size_t> src_idx;
+    if (op == BitOp::kInv) {
+      std::size_t s;
+      do {
+        s = static_cast<std::size_t>(rng.uniform_u64(kVectors));
+      } while (s == dst);
+      src_idx.push_back(s);
+    } else {
+      while (src_idx.size() < 2) {
+        const auto s = static_cast<std::size_t>(rng.uniform_u64(kVectors));
+        bool dup = false;
+        for (const auto x : src_idx) dup |= x == s;
+        if (!dup) src_idx.push_back(s);
+      }
+    }
+    std::vector<core::PimRuntime::Handle> ss, sb;
+    for (const auto s : src_idx) {
+      ss.push_back(hs[s]);
+      sb.push_back(hb[s]);
+    }
+    sync.pim_op(op, ss, hs[dst]);
+    batched.pim_op(op, sb, hb[dst]);
+    if (step % 8 == 7) batched.pim_barrier();
+  }
+  if (batched.in_batch()) batched.pim_barrier();
+
+  for (int i = 0; i < kVectors; ++i)
+    ASSERT_EQ(batched.pim_read(hb[static_cast<std::size_t>(i)]),
+              sync.pim_read(hs[static_cast<std::size_t>(i)]))
+        << "vector " << i;
+  EXPECT_LE(batched.cost().time_ns, sync.cost().time_ns + 1e-9);
+  EXPECT_NEAR(batched.cost().energy.total_pj(),
+              sync.cost().energy.total_pj(),
+              1e-6 * sync.cost().energy.total_pj());
+  EXPECT_NEAR(batched.stats().serial_time_ns, sync.stats().serial_time_ns,
+              1e-6 * sync.stats().serial_time_ns);
+}
+
 TEST(EndToEnd, RuntimeCostAgreesWithBackend) {
   // The functional runtime and the analytic backend must charge the same
   // cost for the same op stream (same placements, same plans).

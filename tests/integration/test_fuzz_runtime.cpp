@@ -37,7 +37,15 @@ TEST_P(RuntimeFuzz, MatchesHostOracle) {
     pim.pim_write(handles.back(), oracle.back());
   }
 
+  // Randomly toggle batch windows: enqueued ops execute eagerly in
+  // program order, so the oracle needs no special handling — only the
+  // pricing defers to the barrier.
+  bool batching = false;
   for (int step = 0; step < 60; ++step) {
+    if (!batching && rng.uniform_u64(4) == 0) {
+      pim.pim_begin();
+      batching = true;
+    }
     const auto op = static_cast<BitOp>(rng.uniform_u64(4));
     const auto dst = static_cast<std::size_t>(rng.uniform_u64(kVectors));
     std::vector<core::PimRuntime::Handle> srcs;
@@ -64,6 +72,11 @@ TEST_P(RuntimeFuzz, MatchesHostOracle) {
     for (const auto s : src_idx) ptrs.push_back(&oracle[s]);
     oracle[dst] = BitVector::reduce(op, ptrs);
 
+    if (batching && rng.uniform_u64(3) == 0) {
+      pim.pim_barrier();
+      batching = false;
+    }
+
     // Occasionally free + reallocate a vector (slot reuse paths).
     if (step % 17 == 9) {
       const auto victim = static_cast<std::size_t>(rng.uniform_u64(kVectors));
@@ -74,9 +87,12 @@ TEST_P(RuntimeFuzz, MatchesHostOracle) {
     }
   }
 
+  if (batching) pim.pim_barrier();
+
   for (int i = 0; i < kVectors; ++i)
     ASSERT_EQ(pim.pim_read(handles[i]), oracle[i]) << "vector " << i;
   EXPECT_GT(pim.cost().time_ns, 0.0);
+  EXPECT_GT(pim.stats().batches, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -59,6 +59,33 @@ TEST(ChannelTimer, DataBusSerializesTransfers) {
   EXPECT_GT(done, 200.0 - 1e-9);
 }
 
+TEST(ChannelTimer, DataAfterHonorsDependencyAndBus) {
+  ChannelTimer t(8, bus());
+  // Dependency delays the command even though bank and bus are free.
+  EXPECT_NEAR(t.issue_data_after(0, 100.0, 20.0, 128), 130.0, 1e-9);
+  // A second burst on another bank overlaps the bank op but serializes
+  // its data behind the first burst.
+  const double done = t.issue_data_after(1, 0.0, 0.0, 1280);
+  EXPECT_GE(done, 230.0 - 1e-9);
+}
+
+TEST(ChannelTimer, DataAfterZeroReadyEqualsIssueData) {
+  ChannelTimer a(2, bus()), b(2, bus());
+  EXPECT_DOUBLE_EQ(a.issue_data(0, 20.0, 256),
+                   b.issue_data_after(0, 0.0, 20.0, 256));
+}
+
+TEST(ChannelTimer, DependentDataChainIsSerialSum) {
+  // compute -> burst -> compute -> burst chained by ready times lands on
+  // the exact serial sum (what a batch of one dependent op costs).
+  ChannelTimer t(2, bus());
+  const double d1 = t.issue_after(0, 0.0, 100.0);
+  const double d2 = t.issue_data_after(0, d1, 10.0, 128);  // +10 +10 ns
+  EXPECT_NEAR(d2, 120.0, 1e-9);
+  const double d3 = t.issue_after(0, d2, 50.0);
+  EXPECT_NEAR(d3, 170.0, 1e-9);
+}
+
 TEST(ChannelTimer, TransferOnly) {
   ChannelTimer t(2, bus());
   EXPECT_NEAR(t.transfer(12800), 1000.0, 1e-9);
@@ -81,9 +108,13 @@ TEST(ChannelTimer, IssueAfterZeroReadyEqualsIssue) {
 TEST(ChannelTimer, ResetClearsState) {
   ChannelTimer t(2, bus());
   t.issue(0, 500.0);
+  t.transfer(12800);  // data bus busy until 1000 ns
   t.reset();
   EXPECT_DOUBLE_EQ(t.finish_ns(), 0.0);
   EXPECT_DOUBLE_EQ(t.issue(0, 5.0), 5.0);
+  // Data bus history gone too: a fresh burst starts immediately after
+  // its bank op.
+  EXPECT_NEAR(t.issue_data(1, 10.0, 128), 1.25 + 10.0 + 10.0, 1e-9);
 }
 
 TEST(ChannelTimer, Validates) {

@@ -6,6 +6,7 @@
 
 #include "pinatubo/allocator.hpp"
 #include "pinatubo/cost_model.hpp"
+#include "pinatubo/engine.hpp"
 #include "pinatubo/scheduler.hpp"
 
 namespace pinatubo::core {
@@ -96,17 +97,23 @@ TEST_P(SchedulerProps, LoweringCountsAgree) {
   EXPECT_EQ(model_.lower(plan).size(), expect);
 }
 
-TEST_P(SchedulerProps, PipelinedNeverSlowerThanSerial) {
+TEST_P(SchedulerProps, EngineNeverSlowerThanSerial) {
   std::vector<OpPlan> plans;
   mem::Cost serial;
   for (int i = 0; i < 4; ++i) {
     plans.push_back(make_plan(BitOp::kOr));
     serial += model_.plan_cost(plans.back());
   }
-  const auto pipe = model_.pipelined_cost(plans);
-  EXPECT_LE(pipe.time_ns, serial.time_ns + 1e-6);
-  EXPECT_NEAR(pipe.energy.total_pj(), serial.energy.total_pj(),
+  const ExecutionEngine engine(model_);
+  const auto r = engine.run(plans);
+  EXPECT_LE(r.cost.time_ns, serial.time_ns + 1e-6);
+  EXPECT_NEAR(r.serial_time_ns, serial.time_ns, 1e-6 * serial.time_ns);
+  EXPECT_NEAR(r.cost.energy.total_pj(), serial.energy.total_pj(),
               1e-6 * serial.energy.total_pj());
+  // The serial knob reproduces the synchronous-driver sum exactly.
+  const ExecutionEngine serial_engine(model_, EngineOptions{true});
+  EXPECT_NEAR(serial_engine.run(plans).cost.time_ns, serial.time_ns,
+              1e-9 * serial.time_ns);
 }
 
 TEST_P(SchedulerProps, SmallerRowCapNeverFaster) {
