@@ -9,6 +9,7 @@
 
 #include "circuit/margin.hpp"
 #include "common/config.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "nvm/area_model.hpp"
@@ -36,6 +37,11 @@ int main(int argc, char** argv) {
     }
   }
   cfg.merge(Config::from_args(overrides));
+
+  // Functional-simulation pool size; 0 defers to PINATUBO_THREADS, then
+  // hardware_concurrency (results are thread-count invariant).
+  ThreadPool::set_global_threads(
+      static_cast<unsigned>(cfg.get_u64("threads", 0)));
 
   const auto geo = mem::geometry_from_config(cfg);
   const auto tech = nvm::tech_from_string(cfg.get_or("tech", "pcm"));

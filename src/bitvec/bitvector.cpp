@@ -1,5 +1,6 @@
 #include "bitvec/bitvector.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/error.hpp"
@@ -40,9 +41,29 @@ BitVector BitVector::random(std::size_t size, double density, Rng& rng) {
     // Fast path: raw random words.
     for (auto& w : v.words_) w = rng.next();
   } else {
-    for (std::size_t i = 0; i < size; ++i)
-      if (rng.chance(density)) v.set(i);
+    // Per-word threshold draws assembled in a register.  The draw order is
+    // one uniform per bit, index-ascending — the same sequence the bitwise
+    // chance() loop consumed — so outputs are bit-identical across versions.
+    std::size_t bit = 0;
+    for (auto& w : v.words_) {
+      const std::size_t n = std::min(size - bit, kWordBits);
+      Word word = 0;
+      for (std::size_t b = 0; b < n; ++b)
+        word |= static_cast<Word>(rng.uniform() < density) << b;
+      w = word;
+      bit += n;
+    }
   }
+  v.mask_tail();
+  return v;
+}
+
+BitVector BitVector::from_words(std::span<const Word> words, std::size_t size) {
+  const std::size_t need = (size + kWordBits - 1) / kWordBits;
+  PIN_CHECK_MSG(words.size() >= need,
+                words.size() << " words for " << size << " bits");
+  BitVector v(size);
+  std::copy_n(words.begin(), need, v.words_.begin());
   v.mask_tail();
   return v;
 }
@@ -222,6 +243,40 @@ void BitVector::mask_tail() {
   const std::size_t tail = size_ % kWordBits;
   if (tail != 0 && !words_.empty())
     words_.back() &= (Word{1} << tail) - 1;
+}
+
+void copy_bits(std::span<BitVector::Word> dst, std::size_t dst_off,
+               std::span<const BitVector::Word> src, std::size_t src_off,
+               std::size_t len) {
+  using Word = BitVector::Word;
+  constexpr std::size_t kW = BitVector::kWordBits;
+  if (len == 0) return;
+  PIN_CHECK_MSG(dst_off + len <= dst.size() * kW,
+                "dst range " << dst_off << "+" << len << " exceeds "
+                             << dst.size() * kW << " bits");
+  PIN_CHECK_MSG(src_off + len <= src.size() * kW,
+                "src range " << src_off << "+" << len << " exceeds "
+                             << src.size() * kW << " bits");
+  // 64 source bits starting at bit p, stitched from up to two words;
+  // positions past the array read as zero (masked off by the caller loop).
+  auto read64 = [&src](std::size_t p) -> Word {
+    const std::size_t w = p / kW, sh = p % kW;
+    const Word lo = w < src.size() ? src[w] : 0;
+    if (sh == 0) return lo;
+    const Word hi = (w + 1) < src.size() ? src[w + 1] : 0;
+    return (lo >> sh) | (hi << (kW - sh));
+  };
+  std::size_t sp = src_off, dp = dst_off, remaining = len;
+  while (remaining > 0) {
+    const std::size_t dw = dp / kW;
+    const std::size_t doff = dp % kW;
+    const std::size_t take = std::min(remaining, kW - doff);
+    const Word keep = take == kW ? ~Word{0} : (Word{1} << take) - 1;
+    dst[dw] = (dst[dw] & ~(keep << doff)) | ((read64(sp) & keep) << doff);
+    dp += take;
+    sp += take;
+    remaining -= take;
+  }
 }
 
 BitVector apply(BitOp op, const BitVector& a, const BitVector& b) {

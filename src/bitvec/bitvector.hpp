@@ -36,6 +36,9 @@ class BitVector {
   static BitVector from_string(const std::string& bits);
   /// Random vector with P(bit=1) = density.
   static BitVector random(std::size_t size, double density, Rng& rng);
+  /// From packed little-endian words (e.g. a MainMemory row view); reads
+  /// ceil(size/64) words and masks the tail.
+  static BitVector from_words(std::span<const Word> words, std::size_t size);
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -114,5 +117,14 @@ class BitVector {
 
 /// Applies `op` to (a, b) elementwise; kInv ignores b and complements a.
 BitVector apply(BitOp op, const BitVector& a, const BitVector& b);
+
+/// Copies `len` bits from `src` starting at bit `src_off` into `dst`
+/// starting at bit `dst_off`, whole words at a time (masked head/tail,
+/// shifted interior).  Ranges must lie inside the word arrays; bits of
+/// `dst` outside [dst_off, dst_off + len) are preserved.  Overlapping
+/// same-array copies are not supported.
+void copy_bits(std::span<BitVector::Word> dst, std::size_t dst_off,
+               std::span<const BitVector::Word> src, std::size_t src_off,
+               std::size_t len);
 
 }  // namespace pinatubo

@@ -2,8 +2,11 @@
 #include "circuit/margin.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "nvm/cell.hpp"
 
 namespace pinatubo::circuit {
@@ -68,10 +71,44 @@ YieldPoint monte_carlo_yield(const nvm::CellParams& cell, BitOp op,
       PIN_UNREACHABLE("INV has no multi-row margin");
   }
 
+  // Batched trials: every lane of a SenseBatch word is one independent
+  // trial of the same adversarial pattern (constant operand words), so a
+  // block of 64 trials costs one kernel call.  Blocks run on the thread
+  // pool; each keys its own counter-based stream from one state draw of
+  // `rng`, and the per-block counts are reduced in block order, so the
+  // result is deterministic for any thread count.
+  std::vector<std::uint64_t> ones_words(n_rows), zeros_words(n_rows);
+  for (unsigned r = 0; r < n_rows; ++r) {
+    ones_words[r] = pattern_one[r] ? ~std::uint64_t{0} : 0;
+    zeros_words[r] = pattern_zero[r] ? ~std::uint64_t{0} : 0;
+  }
+  const SenseBatch batch(csa, cell, op, n_rows);
+  const std::uint64_t key = rng.next();
+  const std::size_t blocks = (trials + SenseBatch::kLanes - 1) /
+                             SenseBatch::kLanes;
+  std::vector<std::uint32_t> c1(blocks), c0(blocks);
+  parallel_for(
+      0, blocks,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t b = lo; b < hi; ++b) {
+          const std::size_t live =
+              std::min(trials - b * SenseBatch::kLanes, SenseBatch::kLanes);
+          const std::uint64_t mask = live == SenseBatch::kLanes
+                                         ? ~std::uint64_t{0}
+                                         : (std::uint64_t{1} << live) - 1;
+          const std::uint64_t one = batch.sense_words(
+              ones_words, CounterRng::stream_base(key, 2 * b));
+          const std::uint64_t zero = batch.sense_words(
+              zeros_words, CounterRng::stream_base(key, 2 * b + 1));
+          c1[b] = static_cast<std::uint32_t>(std::popcount(one & mask));
+          c0[b] = static_cast<std::uint32_t>(std::popcount(~zero & mask));
+        }
+      },
+      /*grain=*/4);
   std::size_t ok_one = 0, ok_zero = 0;
-  for (std::size_t t = 0; t < trials; ++t) {
-    if (csa.sense_op(op, pattern_one, cell, &rng)) ++ok_one;
-    if (!csa.sense_op(op, pattern_zero, cell, &rng)) ++ok_zero;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    ok_one += c1[b];
+    ok_zero += c0[b];
   }
   const double y1 = static_cast<double>(ok_one) / static_cast<double>(trials);
   const double y0 = static_cast<double>(ok_zero) / static_cast<double>(trials);

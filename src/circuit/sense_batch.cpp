@@ -1,0 +1,241 @@
+// Batched analog sensing kernel (see SenseBatch in csa.hpp).
+//
+// The hot loops operate on fixed 64-lane arrays with no branches in the
+// common case so the compiler auto-vectorizes them; rare lanes (inverse
+// CDF tails, |exp argument| near the polynomial's radius) are patched up by
+// scalar passes whose branches are almost never taken.  Lane math is single
+// precision: the ~1e-7 relative rounding is four orders of magnitude below
+// the smallest modelled device variation (sigma >= 3%), so the sampled
+// decision statistics are unchanged while the vector width doubles.  This
+// translation unit may be compiled with native-arch flags (see
+// src/circuit/CMakeLists): results are bit-identical across thread counts
+// within one build, not across differently-vectorized builds.
+#include "circuit/csa.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pinatubo::circuit {
+
+namespace {
+
+constexpr std::size_t kLanes = SenseBatch::kLanes;
+/// Draw indices consumed by one gather_normals call (two lanes per draw).
+constexpr std::size_t kDrawsPerGather = kLanes / 2;
+
+// Central branch of Acklam's inverse normal CDF (same approximation as
+// inv_normal_cdf in common/random.cpp, inlined here so the per-lane loop
+// stays branch-free and vectorizable).
+constexpr float kTailP = 0.02425f;
+constexpr float kCenA[6] = {-3.969683028665376e+01f, 2.209460984245205e+02f,
+                            -2.759285104469687e+02f, 1.383577518672690e+02f,
+                            -3.066479806614716e+01f, 2.506628277459239e+00f};
+constexpr float kCenB[5] = {-5.447609879822406e+01f, 1.615858368580409e+02f,
+                            -1.556989798598866e+02f, 6.680131188771972e+01f,
+                            -1.328068155288572e+01f};
+
+/// Fills z[0..63] with standard normals for draw indices [first, first+32)
+/// of `base`.  Each 64-bit draw feeds two lanes with independent 23-bit
+/// uniforms (lane b from bits 9..31 of draw b, lane 32+b from bits 41..63;
+/// 23 bits + the half-ulp offset is the most a float significand holds
+/// without rounding onto 1.0), halving the integer mixing work.  The
+/// uniforms live in the open interval so the inverse CDF stays finite, with
+/// the sampled tail truncating at |z| ~ 5.4 sigma — far beyond any margin
+/// the models resolve.
+///
+/// The central inverse CDF runs branch-free on every lane; the ~4.8% of
+/// lanes falling in a tail are collected into a lane bitmask (a vectorized
+/// compare — a per-lane 1-in-20 random branch would mispredict constantly)
+/// and patched by a countr_zero walk over just the set bits.
+inline void gather_normals(std::uint64_t base, std::uint64_t first,
+                           float z[kLanes]) {
+  constexpr std::size_t kHalf = kDrawsPerGather;
+  std::uint64_t d[kHalf];
+  float u[kLanes];
+  for (std::size_t b = 0; b < kHalf; ++b)
+    d[b] = CounterRng::draw(base, first + b);
+  for (std::size_t b = 0; b < kHalf; ++b)
+    u[b] = (static_cast<float>((d[b] >> 9) & 0x7fffffu) + 0.5f) * 0x1.0p-23f;
+  for (std::size_t b = 0; b < kHalf; ++b)
+    u[kHalf + b] = (static_cast<float>(d[b] >> 41) + 0.5f) * 0x1.0p-23f;
+  for (std::size_t b = 0; b < kLanes; ++b) {
+    const float q = u[b] - 0.5f;
+    const float r = q * q;
+    const float num =
+        (((((kCenA[0] * r + kCenA[1]) * r + kCenA[2]) * r + kCenA[3]) * r +
+          kCenA[4]) *
+             r +
+         kCenA[5]) *
+        q;
+    const float den =
+        ((((kCenB[0] * r + kCenB[1]) * r + kCenB[2]) * r + kCenB[3]) * r +
+         kCenB[4]) *
+            r +
+        1.0f;
+    z[b] = num / den;
+  }
+  std::uint64_t tails = 0;
+  for (std::size_t b = 0; b < kLanes; ++b)
+    tails |= static_cast<std::uint64_t>(
+                 static_cast<unsigned>(u[b] < kTailP) |
+                 static_cast<unsigned>(u[b] > 1.0f - kTailP))
+             << b;
+  while (tails) {
+    const auto b = static_cast<unsigned>(std::countr_zero(tails));
+    tails &= tails - 1;
+    z[b] = static_cast<float>(inv_normal_cdf(static_cast<double>(u[b])));
+  }
+}
+
+/// Degree-9 Taylor e^x, accurate to ~3e-7 relative at |x| <= 1.  The exp
+/// arguments here are -sigma*z with sigma <= ~0.12, so |x| < 1 except in
+/// astronomically deep tails, which decide_block patches with std::exp.
+inline float exp_poly(float x) {
+  float p = 1.0f / 362880.0f;
+  p = p * x + 1.0f / 40320.0f;
+  p = p * x + 1.0f / 5040.0f;
+  p = p * x + 1.0f / 720.0f;
+  p = p * x + 1.0f / 120.0f;
+  p = p * x + 1.0f / 24.0f;
+  p = p * x + 1.0f / 6.0f;
+  p = p * x + 0.5f;
+  p = p * x + 1.0f;
+  p = p * x + 1.0f;
+  return p;
+}
+
+constexpr float kExpPolyRadius = 0.9f;
+
+}  // namespace
+
+SenseBatch::SenseBatch(const CsaModel& csa, const nvm::CellParams& cell,
+                       BitOp op, unsigned n)
+    : op_(op), n_(n) {
+  switch (op) {
+    case BitOp::kOr:
+      PIN_CHECK_MSG(n >= 2, "OR needs >= 2 rows");
+      break;
+    case BitOp::kAnd:
+    case BitOp::kXor:
+      PIN_CHECK_MSG(n == 2, "AND/XOR are 2-row");
+      break;
+    case BitOp::kInv:
+      PIN_CHECK_MSG(n == 1, "INV is 1-row");
+      break;
+  }
+  g_low_ = 1.0 / cell.r_low_ohm;
+  g_high_ = 1.0 / cell.r_high_ohm;
+  sigma_low_ = cell.sigma_low;
+  sigma_high_ = cell.sigma_high;
+  read_v_ = cell.read_voltage_v;
+  sigma_offset_ = csa.config().sigma_offset;
+  // OR/AND sense against the op reference; XOR micro-steps and INV are
+  // plain reads against the read reference (same placement sense_op uses).
+  i_ref_ = (op == BitOp::kOr || op == BitOp::kAnd)
+               ? op_reference(cell, op, n).i_ref_a
+               : read_reference(cell).i_ref_a;
+  if (sigma_offset_ > 0.0) {
+    // decide(): i_bl > i_ref * (1 + sigma*z)  <=>  i_bl/(i_ref*sigma) -
+    // 1/sigma > z, with i_bl = V * gsum — one fused multiply-add per lane.
+    thr_scale_ = read_v_ / (i_ref_ * sigma_offset_);
+    thr_bias_ = -1.0 / sigma_offset_;
+  }
+  switch (op) {
+    case BitOp::kOr:
+    case BitOp::kAnd:
+      draws_per_block_ = static_cast<std::uint64_t>(n + 1) * kDrawsPerGather;
+      break;
+    case BitOp::kXor:
+      draws_per_block_ = 4 * kDrawsPerGather;
+      break;
+    case BitOp::kInv:
+      draws_per_block_ = 2 * kDrawsPerGather;
+      break;
+  }
+}
+
+std::uint64_t SenseBatch::decide_block(
+    std::span<const std::uint64_t> operand_words, std::uint64_t draw_base,
+    std::uint64_t cell_draw0, std::uint64_t off_draw0) const {
+  const float sigma_low = static_cast<float>(sigma_low_);
+  const float sigma_high = static_cast<float>(sigma_high_);
+  const float g_low = static_cast<float>(g_low_);
+  const float g_high = static_cast<float>(g_high_);
+  float gsum[kLanes] = {};
+  float z[kLanes];
+  float x[kLanes];
+  float e[kLanes];
+  float gn[kLanes];
+  for (std::size_t r = 0; r < operand_words.size(); ++r) {
+    gather_normals(draw_base, cell_draw0 + r * kDrawsPerGather, z);
+    const std::uint64_t w = operand_words[r];
+    for (std::size_t b = 0; b < kLanes; ++b) {
+      // LRS (logic 1) and HRS (logic 0) have different nominals and
+      // log-normal sigmas; R = R_nom * exp(sigma*z) => g = g_nom *
+      // exp(-sigma*z).
+      const bool one = (w >> b) & 1u;
+      x[b] = -(one ? sigma_low : sigma_high) * z[b];
+      gn[b] = one ? g_low : g_high;
+    }
+    for (std::size_t b = 0; b < kLanes; ++b) e[b] = exp_poly(x[b]);
+    // With the preset sigmas (<= 0.12) and the 5.4-sigma sampled tail,
+    // |x| stays far inside the polynomial's radius; the mask is only ever
+    // non-zero for exotic custom cell parameters.
+    std::uint64_t wide = 0;
+    for (std::size_t b = 0; b < kLanes; ++b)
+      wide |= static_cast<std::uint64_t>(std::fabs(x[b]) > kExpPolyRadius)
+              << b;
+    while (wide) {
+      const auto b = static_cast<unsigned>(std::countr_zero(wide));
+      wide &= wide - 1;
+      e[b] = static_cast<float>(std::exp(static_cast<double>(x[b])));
+    }
+    for (std::size_t b = 0; b < kLanes; ++b) gsum[b] += gn[b] * e[b];
+  }
+  gather_normals(draw_base, off_draw0, z);
+  std::uint64_t out = 0;
+  if (sigma_offset_ > 0.0) {
+    const float scale = static_cast<float>(thr_scale_);
+    const float bias = static_cast<float>(thr_bias_);
+    for (std::size_t b = 0; b < kLanes; ++b)
+      out |= static_cast<std::uint64_t>(gsum[b] * scale + bias > z[b]) << b;
+  } else {
+    const float read_v = static_cast<float>(read_v_);
+    const float i_ref = static_cast<float>(i_ref_);
+    for (std::size_t b = 0; b < kLanes; ++b)
+      out |= static_cast<std::uint64_t>(read_v * gsum[b] > i_ref) << b;
+  }
+  return out;
+}
+
+std::uint64_t SenseBatch::sense_words(
+    std::span<const std::uint64_t> operand_words,
+    std::uint64_t draw_base) const {
+  PIN_CHECK_MSG(operand_words.size() == n_,
+                operand_words.size() << " operand words for " << n_
+                                     << "-row op");
+  switch (op_) {
+    case BitOp::kOr:
+    case BitOp::kAnd:
+      return decide_block(operand_words, draw_base, 0,
+                          static_cast<std::uint64_t>(n_) * kDrawsPerGather);
+    case BitOp::kXor: {
+      // Micro-step 1 reads operand A onto Ch; micro-step 2 reads operand B
+      // into the latch; the add-on transistors output the XOR.
+      const std::uint64_t a = decide_block(operand_words.subspan(0, 1),
+                                           draw_base, 0, 2 * kDrawsPerGather);
+      const std::uint64_t b =
+          decide_block(operand_words.subspan(1, 1), draw_base,
+                       kDrawsPerGather, 3 * kDrawsPerGather);
+      return a ^ b;
+    }
+    case BitOp::kInv:
+      // Complementary latch node: the negated read decision.
+      return ~decide_block(operand_words, draw_base, 0, kDrawsPerGather);
+  }
+  PIN_UNREACHABLE("bad BitOp");
+}
+
+}  // namespace pinatubo::circuit

@@ -100,6 +100,56 @@ bool Rng::chance(double p) { return uniform() < p; }
 
 Rng Rng::fork() { return Rng(next() ^ 0xd2b74407b1ce6e93ull); }
 
+namespace {
+
+// Acklam's inverse normal CDF coefficients.
+constexpr double kInvA[6] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+constexpr double kInvB[5] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+constexpr double kInvC[6] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+constexpr double kInvD[4] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+
+/// Tail branch for p in (0, kInvNormalTailP): returns the (negative-side)
+/// quantile magnitude's formula output for the lower tail.
+inline double inv_normal_tail(double p) {
+  const double q = std::sqrt(-2.0 * std::log(p));
+  return (((((kInvC[0] * q + kInvC[1]) * q + kInvC[2]) * q + kInvC[3]) * q +
+           kInvC[4]) *
+              q +
+          kInvC[5]) /
+         ((((kInvD[0] * q + kInvD[1]) * q + kInvD[2]) * q + kInvD[3]) * q +
+          1.0);
+}
+
+}  // namespace
+
+double inv_normal_cdf(double u) {
+  PIN_CHECK_MSG(u > 0.0 && u < 1.0, "u=" << u);
+  constexpr double kTail = 0.02425;
+  if (u < kTail) return inv_normal_tail(u);
+  if (u > 1.0 - kTail) return -inv_normal_tail(1.0 - u);
+  const double q = u - 0.5;
+  const double r = q * q;
+  const double num =
+      (((((kInvA[0] * r + kInvA[1]) * r + kInvA[2]) * r + kInvA[3]) * r +
+        kInvA[4]) *
+           r +
+       kInvA[5]) *
+      q;
+  const double den =
+      ((((kInvB[0] * r + kInvB[1]) * r + kInvB[2]) * r + kInvB[3]) * r +
+       kInvB[4]) *
+          r +
+      1.0;
+  return num / den;
+}
+
 ZipfSampler::ZipfSampler(std::size_t n, double theta) {
   PIN_CHECK(n > 0);
   PIN_CHECK(theta >= 0.0);

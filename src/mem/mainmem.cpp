@@ -1,22 +1,73 @@
 #include "mem/mainmem.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace pinatubo::mem {
 
 MainMemory::MainMemory(const Geometry& geo, nvm::Tech tech,
                        SenseFidelity fidelity, std::uint64_t seed)
     : codec_(geo), tech_(tech), cell_(&nvm::cell_params(tech)),
-      fidelity_(fidelity), rng_(seed),
-      zero_row_(geo.rank_row_bits()) {}
+      fidelity_(fidelity), seed_(seed),
+      row_words_((geo.rank_row_bits() + BitVector::kWordBits - 1) /
+                 BitVector::kWordBits),
+      banks_(static_cast<std::size_t>(geo.channels) * geo.ranks_per_channel *
+             geo.banks_per_chip),
+      zero_row_(row_words_, 0) {}
+
+std::size_t MainMemory::bank_index(const RowAddr& a) const {
+  const auto& g = geometry();
+  return (static_cast<std::size_t>(a.channel) * g.ranks_per_channel + a.rank) *
+             g.banks_per_chip +
+         a.bank;
+}
+
+std::size_t MainMemory::row_in_bank(const RowAddr& a) const {
+  return static_cast<std::size_t>(a.subarray) *
+             geometry().rows_per_subarray +
+         a.row;
+}
+
+const MainMemory::Word* MainMemory::find_row(const RowAddr& addr) const {
+  codec_.check(addr);
+  const BankArena& bank = banks_[bank_index(addr)];
+  if (bank.slots.empty()) return nullptr;
+  const std::uint32_t slot = bank.slots[row_in_bank(addr)];
+  if (slot == 0) return nullptr;
+  const std::size_t idx = slot - 1;
+  return bank.slabs[idx / kRowsPerSlab].get() +
+         (idx % kRowsPerSlab) * row_words_;
+}
+
+MainMemory::Word* MainMemory::materialize_row(const RowAddr& addr) {
+  codec_.check(addr);
+  BankArena& bank = banks_[bank_index(addr)];
+  if (bank.slots.empty())
+    bank.slots.assign(geometry().rows_per_bank(), 0);
+  std::uint32_t& slot = bank.slots[row_in_bank(addr)];
+  if (slot == 0) {
+    if (bank.used % kRowsPerSlab == 0)
+      bank.slabs.push_back(
+          std::make_unique<Word[]>(kRowsPerSlab * row_words_));
+    slot = ++bank.used;
+    ++rows_written_;
+  }
+  const std::size_t idx = slot - 1;
+  return bank.slabs[idx / kRowsPerSlab].get() +
+         (idx % kRowsPerSlab) * row_words_;
+}
 
 void MainMemory::write_row(const RowAddr& addr, const BitVector& data) {
   PIN_CHECK_MSG(data.size() == geometry().rank_row_bits(),
                 "row write size " << data.size() << " != "
                                   << geometry().rank_row_bits());
-  const std::uint64_t id = codec_.encode(addr);
-  wear_.record(id, data.size());
-  rows_[id] = data;
+  wear_.record(codec_.encode(addr), data.size());
+  Word* dst = materialize_row(addr);
+  const auto src = data.words();
+  std::copy(src.begin(), src.end(), dst);
 }
 
 void MainMemory::write_row_partial(const RowAddr& addr,
@@ -27,15 +78,13 @@ void MainMemory::write_row_partial(const RowAddr& addr,
                 "partial write [" << bit_offset << ", "
                                   << bit_offset + data.size() << ") exceeds row "
                                   << row_bits);
-  const std::uint64_t id = codec_.encode(addr);
-  wear_.record(id, data.size());
-  auto& row = row_mut(id);
-  for (std::size_t i = 0; i < data.size(); ++i)
-    row.set(bit_offset + i, data.get(i));
+  wear_.record(codec_.encode(addr), data.size());
+  Word* dst = materialize_row(addr);
+  copy_bits({dst, row_words_}, bit_offset, data.words(), 0, data.size());
 }
 
 BitVector MainMemory::read_row(const RowAddr& addr) const {
-  return row_ref(codec_.encode(addr));
+  return BitVector::from_words(row_view(addr), geometry().rank_row_bits());
 }
 
 BitVector MainMemory::read_row_partial(const RowAddr& addr,
@@ -44,15 +93,19 @@ BitVector MainMemory::read_row_partial(const RowAddr& addr,
   const std::size_t row_bits = geometry().rank_row_bits();
   PIN_CHECK_MSG(bit_offset + bits <= row_bits,
                 "partial read beyond row width");
-  const BitVector& row = row_ref(codec_.encode(addr));
   BitVector out(bits);
-  for (std::size_t i = 0; i < bits; ++i)
-    if (row.get(bit_offset + i)) out.set(i);
+  copy_bits(out.words(), 0, row_view(addr), bit_offset, bits);
   return out;
 }
 
 bool MainMemory::row_exists(const RowAddr& addr) const {
-  return rows_.count(codec_.encode(addr)) != 0;
+  return find_row(addr) != nullptr;
+}
+
+std::span<const MainMemory::Word> MainMemory::row_view(
+    const RowAddr& addr) const {
+  const Word* words = find_row(addr);
+  return {words != nullptr ? words : zero_row_.data(), row_words_};
 }
 
 BitVector MainMemory::sense_rows(const std::vector<RowAddr>& rows, BitOp op) {
@@ -70,27 +123,57 @@ BitVector MainMemory::sense_rows(const std::vector<RowAddr>& rows, BitOp op) {
                                             << nvm::to_string(tech_));
 
   const std::size_t width = geometry().rank_row_bits();
-  if (fidelity_ == SenseFidelity::kNominal) {
-    // Word-parallel equivalent of nominal analog sensing.
-    std::vector<const BitVector*> srcs;
-    std::vector<BitVector> storage;
-    storage.reserve(rows.size());
-    for (const auto& r : rows) storage.push_back(read_row(r));
-    for (const auto& s : storage) srcs.push_back(&s);
-    return BitVector::reduce(op, srcs);
-  }
+  std::vector<std::span<const Word>> views;
+  views.reserve(rows.size());
+  for (const auto& r : rows) views.push_back(row_view(r));
 
-  // Analog path: every bitline sensed independently with fresh variation.
-  std::vector<BitVector> operands;
-  operands.reserve(rows.size());
-  for (const auto& r : rows) operands.push_back(read_row(r));
   BitVector out(width);
-  std::vector<bool> column(rows.size());
-  for (std::size_t bit = 0; bit < width; ++bit) {
-    for (std::size_t r = 0; r < operands.size(); ++r)
-      column[r] = operands[r].get(bit);
-    if (csa_.sense_op(op, column, *cell_, &rng_)) out.set(bit);
+  const auto outw = out.words();
+  if (fidelity_ == SenseFidelity::kNominal) {
+    // Word-parallel equivalent of nominal analog sensing, straight from the
+    // row views (no operand copies).
+    std::copy(views[0].begin(), views[0].end(), outw.begin());
+    for (std::size_t r = 1; r < views.size(); ++r) {
+      const auto v = views[r];
+      switch (op) {
+        case BitOp::kOr:
+          for (std::size_t w = 0; w < row_words_; ++w) outw[w] |= v[w];
+          break;
+        case BitOp::kAnd:
+          for (std::size_t w = 0; w < row_words_; ++w) outw[w] &= v[w];
+          break;
+        case BitOp::kXor:
+          for (std::size_t w = 0; w < row_words_; ++w) outw[w] ^= v[w];
+          break;
+        case BitOp::kInv:
+          PIN_UNREACHABLE("INV is 1-row");
+      }
+    }
+    if (op == BitOp::kInv)
+      for (std::size_t w = 0; w < row_words_; ++w) outw[w] = ~outw[w];
+  } else {
+    // Analog path: the batched kernel senses 64 bitlines per call; word
+    // blocks are sharded over the pool.  Every word derives its own
+    // counter-based draw stream from (seed, sense epoch, word index), so
+    // results are bit-identical for any thread count.
+    const circuit::SenseBatch batch(csa_, *cell_, op, n);
+    const std::uint64_t key = CounterRng::stream_base(seed_, ++sense_epoch_);
+    parallel_for(
+        0, row_words_,
+        [&](std::size_t lo, std::size_t hi) {
+          std::vector<std::uint64_t> ops(views.size());
+          for (std::size_t w = lo; w < hi; ++w) {
+            for (std::size_t r = 0; r < views.size(); ++r) ops[r] = views[r][w];
+            outw[w] =
+                batch.sense_words(ops, CounterRng::stream_base(key, w));
+          }
+        },
+        /*grain=*/16);
   }
+  // Restore the trailing-zero invariant (INV and analog lanes can set tail
+  // bits past the row width).
+  const std::size_t tail = width % BitVector::kWordBits;
+  if (tail != 0) outw[row_words_ - 1] &= (Word{1} << tail) - 1;
   return out;
 }
 
@@ -101,18 +184,6 @@ BitVector MainMemory::buffer_op(const RowAddr& a, const RowAddr& b,
   const BitVector ra = read_row(a);
   if (op == BitOp::kInv) return ~ra;
   return apply(op, ra, read_row(b));
-}
-
-const BitVector& MainMemory::row_ref(std::uint64_t id) const {
-  const auto it = rows_.find(id);
-  return it == rows_.end() ? zero_row_ : it->second;
-}
-
-BitVector& MainMemory::row_mut(std::uint64_t id) {
-  auto it = rows_.find(id);
-  if (it == rows_.end())
-    it = rows_.emplace(id, BitVector(geometry().rank_row_bits())).first;
-  return it->second;
 }
 
 }  // namespace pinatubo::mem

@@ -51,10 +51,15 @@ PimRuntime::RowBit PimRuntime::locate(const Placement& p,
 }
 
 void PimRuntime::scatter(const Placement& p, const BitVector& v) {
+  // locate() maps each bank_share-long run of vector bits to a contiguous
+  // bit range of one bank row, so scatter/gather move whole chunks with
+  // copy_bits instead of walking bits.  Scatter stays read-modify-write +
+  // one write_row per touched bank so the wear ledger sees exactly one
+  // full-row write per physical row activation, as before.
   const auto& g = mem_.geometry();
-  const std::uint64_t group_bits =
-      static_cast<std::uint64_t>(p.stripes) * g.sense_step_bits();
-  // Stage per-(group, bank) rows, then write once.
+  const std::uint64_t step = g.sense_step_bits();
+  const std::uint64_t bank_share = step / g.banks_per_chip;
+  const std::uint64_t group_bits = static_cast<std::uint64_t>(p.stripes) * step;
   for (std::uint64_t grp = 0; grp < p.groups; ++grp) {
     std::vector<BitVector> bank_rows;
     std::vector<bool> touched(g.banks_per_chip, false);
@@ -68,10 +73,16 @@ void PimRuntime::scatter(const Placement& p, const BitVector& v) {
     const std::uint64_t base = grp * group_bits;
     const std::uint64_t count = std::min<std::uint64_t>(
         group_bits, v.size() > base ? v.size() - base : 0);
-    for (std::uint64_t q = 0; q < count; ++q) {
-      const RowBit rb = locate(p, q);
-      bank_rows[rb.bank].set(rb.bit, v.get(base + q));
-      touched[rb.bank] = true;
+    for (std::uint64_t q = 0; q < count;) {
+      const std::uint64_t within = q % step;
+      const auto b = static_cast<unsigned>(within / bank_share);
+      const std::uint64_t in_share = within % bank_share;
+      const std::uint64_t len = std::min(bank_share - in_share, count - q);
+      const std::size_t bit =
+          (p.col_stripe + q / step) * bank_share + in_share;
+      copy_bits(bank_rows[b].words(), bit, v.words(), base + q, len);
+      touched[b] = true;
+      q += len;
     }
     for (unsigned b = 0; b < g.banks_per_chip; ++b) {
       if (!touched[b]) continue;
@@ -83,24 +94,27 @@ void PimRuntime::scatter(const Placement& p, const BitVector& v) {
 
 BitVector PimRuntime::gather(const Placement& p) const {
   const auto& g = mem_.geometry();
-  const std::uint64_t group_bits =
-      static_cast<std::uint64_t>(p.stripes) * g.sense_step_bits();
+  const std::uint64_t step = g.sense_step_bits();
+  const std::uint64_t bank_share = step / g.banks_per_chip;
+  const std::uint64_t group_bits = static_cast<std::uint64_t>(p.stripes) * step;
   BitVector v(p.bits);
   for (std::uint64_t grp = 0; grp < p.groups; ++grp) {
-    std::vector<BitVector> bank_rows;
-    bank_rows.reserve(g.banks_per_chip);
     const unsigned rk = p.group_rank(grp, g.ranks_per_channel);
     const unsigned row = p.group_row(grp, g.ranks_per_channel);
-    for (unsigned b = 0; b < g.banks_per_chip; ++b) {
-      mem::RowAddr a{p.channel, rk, b, p.subarray, row};
-      bank_rows.push_back(mem_.read_row(a));
-    }
     const std::uint64_t base = grp * group_bits;
     const std::uint64_t count = std::min<std::uint64_t>(
         group_bits, v.size() > base ? v.size() - base : 0);
-    for (std::uint64_t q = 0; q < count; ++q) {
-      const RowBit rb = locate(p, q);
-      if (bank_rows[rb.bank].get(rb.bit)) v.set(base + q);
+    // Chunk-wise zero-copy reads straight from the row arenas.
+    for (std::uint64_t q = 0; q < count;) {
+      const std::uint64_t within = q % step;
+      const auto b = static_cast<unsigned>(within / bank_share);
+      const std::uint64_t in_share = within % bank_share;
+      const std::uint64_t len = std::min(bank_share - in_share, count - q);
+      const std::size_t bit =
+          (p.col_stripe + q / step) * bank_share + in_share;
+      mem::RowAddr a{p.channel, rk, b, p.subarray, row};
+      copy_bits(v.words(), base + q, mem_.row_view(a), bit, len);
+      q += len;
     }
   }
   return v;
@@ -140,8 +154,7 @@ void PimRuntime::execute_intra(BitOp op, const std::vector<Placement>& srcs_in,
       };
       auto write_window = [&](const BitVector& full_row) {
         BitVector window(win_len);
-        for (std::size_t i = 0; i < win_len; ++i)
-          if (full_row.get(win_lo + i)) window.set(i);
+        copy_bits(window.words(), 0, full_row.words(), win_lo, win_len);
         mem_.write_row_partial(row_of(dst), win_lo, window);
       };
       if (op == BitOp::kInv) {

@@ -57,7 +57,11 @@ mem::Cost SimdCpuModel::bulk_op(const TraceOp& op) {
   PIN_CHECK(!op.srcs.empty());
   PIN_CHECK(op.bits > 0);
   const std::uint64_t line = cache_.line_bytes();
-  const std::uint64_t bytes = (op.bits + 7) / 8;
+  // Word-aligned footprint: the host kernels (BitVector) process whole
+  // 64-bit words, so the baseline is charged for the same word count the
+  // PIM functional layer touches.  Identical to (bits+7)/8 for the word-
+  // multiple sizes of every figure; only sub-word tails round up.
+  const std::uint64_t bytes = (op.bits + 63) / 64 * 8;
   const std::uint64_t lines = (bytes + line - 1) / line;
   const std::uint64_t n_streams = op.srcs.size() + 1;  // +dst
   const std::uint64_t accesses = lines * n_streams;

@@ -173,6 +173,65 @@ TEST(BitVector, EqualityAndApply) {
   EXPECT_EQ(apply(BitOp::kInv, a, b).to_string(), "001");
 }
 
+TEST(BitVector, FromWordsRoundTrip) {
+  Rng rng(71);
+  const auto v = BitVector::random(300, 0.5, rng);
+  const auto back = BitVector::from_words(v.words(), 300);
+  EXPECT_EQ(back, v);
+  // Tail bits of the source words are masked off.
+  std::vector<BitVector::Word> words = {~BitVector::Word{0},
+                                        ~BitVector::Word{0}};
+  const auto masked = BitVector::from_words(words, 70);
+  EXPECT_EQ(masked.popcount(), 70u);
+  EXPECT_EQ(masked.size(), 70u);
+}
+
+TEST(BitVector, RandomDensityWordPathMatchesBitPath) {
+  // The word-assembled threshold path must consume draws exactly like the
+  // historical one-uniform-per-bit loop, so seeds reproduce old outputs.
+  Rng rng(101);
+  const auto v = BitVector::random(517, 0.3, rng);
+  Rng ref_rng(101);
+  BitVector ref(517);
+  for (std::size_t i = 0; i < 517; ++i)
+    if (ref_rng.chance(0.3)) ref.set(i);
+  EXPECT_EQ(v, ref);
+}
+
+TEST(CopyBits, MatchesPerBitReferenceAtAllAlignments) {
+  Rng rng(72);
+  const auto src = BitVector::random(500, 0.5, rng);
+  for (const std::size_t src_off : {0u, 1u, 63u, 64u, 65u, 130u}) {
+    for (const std::size_t dst_off : {0u, 7u, 63u, 64u, 128u}) {
+      for (const std::size_t len : {0u, 1u, 37u, 64u, 200u}) {
+        auto dst = BitVector::random(500, 0.5, rng);
+        auto expect = dst;
+        for (std::size_t i = 0; i < len; ++i)
+          expect.set(dst_off + i, src.get(src_off + i));
+        copy_bits(dst.words(), dst_off, src.words(), src_off, len);
+        EXPECT_EQ(dst, expect) << "src_off=" << src_off
+                               << " dst_off=" << dst_off << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(CopyBits, PreservesBitsOutsideRange) {
+  BitVector dst(200);
+  dst.fill(true);
+  BitVector src(100);  // all zero
+  copy_bits(dst.words(), 50, src.words(), 10, 40);
+  for (std::size_t i = 0; i < 200; ++i)
+    EXPECT_EQ(dst.get(i), i < 50 || i >= 90) << i;
+}
+
+TEST(CopyBits, BoundsChecked) {
+  BitVector dst(128), src(128);
+  EXPECT_THROW(copy_bits(dst.words(), 100, src.words(), 0, 29), Error);
+  EXPECT_THROW(copy_bits(dst.words(), 0, src.words(), 100, 29), Error);
+  EXPECT_NO_THROW(copy_bits(dst.words(), 100, src.words(), 99, 28));
+}
+
 TEST(BitOpNames, AllNamed) {
   EXPECT_STREQ(to_string(BitOp::kOr), "OR");
   EXPECT_STREQ(to_string(BitOp::kAnd), "AND");

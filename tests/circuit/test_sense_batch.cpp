@@ -1,0 +1,103 @@
+#include "circuit/csa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "nvm/technology.hpp"
+
+namespace pinatubo::circuit {
+namespace {
+
+std::vector<std::uint64_t> random_words(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> w(n);
+  for (auto& x : w) x = rng.next();
+  return w;
+}
+
+TEST(SenseBatch, ZeroVariationReducesToBoolean) {
+  // With all variation and offset sigmas at zero the threshold algebra
+  // must resolve every lane to the exact boolean op — the same reference
+  // placement argument the nominal path relies on.
+  nvm::CellParams cell = nvm::cell_params(nvm::Tech::kPcm);
+  cell.sigma_low = 0.0;
+  cell.sigma_high = 0.0;
+  CsaConfig cfg;
+  cfg.sigma_offset = 0.0;
+  const CsaModel csa(cfg);
+
+  const auto ops = random_words(4, 9);
+  const std::uint64_t base = CounterRng::stream_base(1, 1);
+  const SenseBatch or4(csa, cell, BitOp::kOr, 4);
+  EXPECT_EQ(or4.sense_words(ops, base), ops[0] | ops[1] | ops[2] | ops[3]);
+  const SenseBatch and2(csa, cell, BitOp::kAnd, 2);
+  EXPECT_EQ(and2.sense_words({ops.data(), 2}, base), ops[0] & ops[1]);
+  const SenseBatch xor2(csa, cell, BitOp::kXor, 2);
+  EXPECT_EQ(xor2.sense_words({ops.data(), 2}, base), ops[0] ^ ops[1]);
+  const SenseBatch inv(csa, cell, BitOp::kInv, 1);
+  EXPECT_EQ(inv.sense_words({ops.data(), 1}, base), ~ops[0]);
+}
+
+TEST(SenseBatch, WideMarginStaysExactWithVariation) {
+  // PCM OR-2 has >25 sigma of margin; AND-2's geometric-mean reference
+  // leaves ~5 sigma (its boundary ratio is ~2 on every technology), so the
+  // expected flip count over these 6400 fixed-seed lanes is ~0.005 — the
+  // deterministic draws below stay flip-free.
+  const auto& cell = nvm::cell_params(nvm::Tech::kPcm);
+  const CsaModel csa;
+  const auto ops = random_words(2, 10);
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    const std::uint64_t base = CounterRng::stream_base(42, s);
+    EXPECT_EQ(SenseBatch(csa, cell, BitOp::kOr, 2).sense_words(ops, base),
+              ops[0] | ops[1]);
+    EXPECT_EQ(SenseBatch(csa, cell, BitOp::kAnd, 2).sense_words(ops, base),
+              ops[0] & ops[1]);
+  }
+}
+
+TEST(SenseBatch, PureFunctionOfDrawBase) {
+  const auto& cell = nvm::cell_params(nvm::Tech::kSttMram);
+  const CsaModel csa;
+  const SenseBatch batch(csa, cell, BitOp::kOr, 2);
+  const auto ops = random_words(2, 11);
+  const std::uint64_t base = CounterRng::stream_base(5, 17);
+  const std::uint64_t first = batch.sense_words(ops, base);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(batch.sense_words(ops, base), first);
+}
+
+TEST(SenseBatch, MarginalShapeFlipsLanesAcrossBases) {
+  // OR-8 on STT-MRAM is beyond the SA's reliable range (the margin suite
+  // shows worst_side < 0.99): on the weakest-one pattern some lanes must
+  // disagree with the ideal boolean.  SenseBatch deliberately accepts such
+  // shapes so margin analysis can measure their failure rates.
+  const auto& cell = nvm::cell_params(nvm::Tech::kSttMram);
+  const CsaModel csa;
+  const SenseBatch batch(csa, cell, BitOp::kOr, 8);
+  // Every lane holds exactly one LRS cell — the weakest sensed '1'.
+  std::vector<std::uint64_t> ops(8, 0);
+  ops[0] = ~std::uint64_t{0};
+  std::size_t flips = 0;
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    const std::uint64_t got =
+        batch.sense_words(ops, CounterRng::stream_base(1234, s));
+    flips += static_cast<std::size_t>(__builtin_popcountll(~got));
+  }
+  EXPECT_GT(flips, 0u);
+  // ...but fewer than half: the reference still sits between boundaries.
+  EXPECT_LT(flips, 200u * 64 / 2);
+}
+
+TEST(SenseBatch, DrawBudgetMatchesLayout) {
+  // One normal gather consumes 32 draw indices (two lanes per 64-bit draw).
+  const auto& cell = nvm::cell_params(nvm::Tech::kPcm);
+  const CsaModel csa;
+  EXPECT_EQ(SenseBatch(csa, cell, BitOp::kOr, 8).draws_per_block(), 9u * 32);
+  EXPECT_EQ(SenseBatch(csa, cell, BitOp::kAnd, 2).draws_per_block(), 3u * 32);
+  EXPECT_EQ(SenseBatch(csa, cell, BitOp::kXor, 2).draws_per_block(), 4u * 32);
+  EXPECT_EQ(SenseBatch(csa, cell, BitOp::kInv, 1).draws_per_block(), 2u * 32);
+}
+
+}  // namespace
+}  // namespace pinatubo::circuit

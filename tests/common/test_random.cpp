@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -101,6 +102,78 @@ TEST(Rng, ForkStreamsAreIndependent) {
   for (int i = 0; i < 64; ++i)
     if (rng.next() == child.next()) ++same;
   EXPECT_LT(same, 2);
+}
+
+TEST(InvNormalCdf, MatchesKnownQuantiles) {
+  // Acklam's approximation: relative error < 1.2e-9.
+  EXPECT_NEAR(inv_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inv_normal_cdf(0.975), 1.959963984540054, 1e-7);
+  EXPECT_NEAR(inv_normal_cdf(0.025), -1.959963984540054, 1e-7);
+  EXPECT_NEAR(inv_normal_cdf(0.841344746068543), 1.0, 1e-7);
+  // Deep tails (the branch the batched kernel patches scalar).
+  EXPECT_NEAR(inv_normal_cdf(1e-9), -5.997807015008182, 1e-5);
+  EXPECT_NEAR(inv_normal_cdf(1.0 - 1e-9), 5.997807015008182, 1e-5);
+  EXPECT_THROW(inv_normal_cdf(0.0), Error);
+  EXPECT_THROW(inv_normal_cdf(1.0), Error);
+}
+
+TEST(CounterRng, DrawIsPureFunctionOfKeyStreamIndex) {
+  const std::uint64_t base = CounterRng::stream_base(123, 4);
+  CounterRng a(123, 4), b(123, 4);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const std::uint64_t v = CounterRng::draw(base, i);
+    EXPECT_EQ(a.next(), v);
+    EXPECT_EQ(b.next(), v);
+  }
+}
+
+TEST(CounterRng, OutOfOrderDrawsMatchSequential) {
+  // The property the thread-pool sharding relies on: any evaluation order
+  // of the indices yields the same values.
+  const std::uint64_t base = CounterRng::stream_base(7, 0);
+  std::vector<std::uint64_t> fwd, rev;
+  for (std::uint64_t i = 0; i < 64; ++i) fwd.push_back(CounterRng::draw(base, i));
+  for (std::uint64_t i = 64; i-- > 0;) rev.push_back(CounterRng::draw(base, i));
+  std::reverse(rev.begin(), rev.end());
+  EXPECT_EQ(fwd, rev);
+}
+
+TEST(CounterRng, StreamsAreDecorrelated) {
+  CounterRng a(99, 0), b(99, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(CounterRng, SplitDerivesIndependentChild) {
+  CounterRng parent(55, 0);
+  CounterRng child = parent.split(3);
+  CounterRng again = CounterRng(55, 0).split(3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(child.next(), again.next());
+  EXPECT_NE(CounterRng(55, 0).split(4).base(), child.base());
+}
+
+TEST(CounterRng, UniformInOpenUnitInterval) {
+  CounterRng rng(111, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(CounterRng, NormalMomentsMatch) {
+  CounterRng rng(13, 0);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
 }
 
 TEST(ZipfSampler, SkewsTowardHead) {

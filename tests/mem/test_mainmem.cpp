@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace pinatubo::mem {
 namespace {
@@ -142,6 +143,109 @@ TEST_F(MainMemoryTest, AnalogSensingMultiRowOrStaysExactAt128) {
     rows.push_back(r);
   }
   EXPECT_EQ(analog.sense_rows(rows, BitOp::kOr), expect);
+}
+
+TEST_F(MainMemoryTest, PartialReadWriteAtWordBoundaries) {
+  // Exercise the masked whole-word path at offset 0, mid-word, exact word
+  // boundaries, and a ragged tail; compare against a per-bit shadow row.
+  const RowAddr a{0, 0, 1, 0, 4};
+  const std::size_t row_bits = mem_.geometry().rank_row_bits();
+  BitVector shadow(row_bits);
+  Rng rng(42);
+  const struct {
+    std::size_t offset, len;
+  } cases[] = {{0, 64}, {0, 37}, {5, 64}, {37, 91}, {64, 64},
+               {63, 2},  {100, 27}, {row_bits - 13, 13}};
+  for (const auto& c : cases) {
+    const auto chunk = BitVector::random(c.len, 0.5, rng);
+    mem_.write_row_partial(a, c.offset, chunk);
+    for (std::size_t i = 0; i < c.len; ++i)
+      shadow.set(c.offset + i, chunk.get(i));
+    EXPECT_EQ(mem_.read_row(a), shadow);
+    EXPECT_EQ(mem_.read_row_partial(a, c.offset, c.len), chunk);
+  }
+  // Partial reads at the same boundary mix.
+  EXPECT_EQ(mem_.read_row_partial(a, 60, 10).to_string(),
+            mem_.read_row(a).to_string().substr(60, 10));
+}
+
+TEST_F(MainMemoryTest, ArenaUnwrittenRowsReadZeroWithoutMaterializing) {
+  const RowAddr never{0, 0, 1, 1, 7};
+  EXPECT_TRUE(mem_.read_row(never).none());
+  EXPECT_TRUE(mem_.read_row_partial(never, 3, 50).none());
+  EXPECT_EQ(mem_.rows_written(), 0u);  // reads must not allocate
+  EXPECT_FALSE(mem_.row_exists(never));
+  // A partial write materializes the row zero-filled around the data.
+  mem_.write_row_partial(never, 64, BitVector::from_string("11"));
+  EXPECT_EQ(mem_.rows_written(), 1u);
+  EXPECT_TRUE(mem_.row_exists(never));
+  EXPECT_EQ(mem_.read_row(never).popcount(), 2u);
+}
+
+TEST_F(MainMemoryTest, RowViewZeroCopyTracksWrites) {
+  const RowAddr a{0, 0, 0, 1, 1};
+  EXPECT_EQ(mem_.row_view(a).size(),
+            (mem_.geometry().rank_row_bits() + 63) / 64);
+  const auto data = random_row(12);
+  mem_.write_row(a, data);
+  const auto view = mem_.row_view(a);
+  EXPECT_EQ(BitVector::from_words(view, data.size()), data);
+  // Views of written rows are stable across later writes to other rows
+  // (slabs never move) and follow in-place updates.
+  const auto other = random_row(13);
+  for (unsigned r = 0; r < 4; ++r) mem_.write_row({0, 0, 1, 0, r}, other);
+  const auto update = random_row(14);
+  mem_.write_row(a, update);
+  EXPECT_EQ(BitVector::from_words(view, update.size()), update);
+}
+
+TEST_F(MainMemoryTest, AnalogSensingDeterministicAcrossThreadCounts) {
+  // Same seed => bit-identical analog results for 1, 2, and N threads —
+  // the counter-based RNG contract of the batched sensing path.
+  Geometry g = small_geometry();
+  g.row_slice_bits = 1024;  // enough words for real sharding
+  const auto run = [&](unsigned threads) {
+    ThreadPool::set_global_threads(threads);
+    MainMemory analog(g, nvm::Tech::kSttMram, SenseFidelity::kAnalog, 77);
+    const RowAddr r0{0, 0, 0, 0, 0}, r1{0, 0, 0, 0, 1};
+    Rng rng(5);
+    analog.write_row(r0, BitVector::random(g.rank_row_bits(), 0.5, rng));
+    analog.write_row(r1, BitVector::random(g.rank_row_bits(), 0.5, rng));
+    // STT-MRAM's thin margins make occasional analog flips likely, which
+    // is exactly what must reproduce across thread counts.
+    // OR-2, XOR-2 and INV are the shapes the SA supports on STT-MRAM
+    // (AND-2's boundary ratio is below the reliability floor).
+    std::vector<BitVector> out;
+    out.push_back(analog.sense_rows({r0, r1}, BitOp::kOr));
+    out.push_back(analog.sense_rows({r0, r1}, BitOp::kXor));
+    out.push_back(analog.sense_rows({r0}, BitOp::kInv));
+    return out;
+  };
+  const auto one = run(1);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(7));
+  ThreadPool::set_global_threads(0);
+}
+
+TEST_F(MainMemoryTest, AnalogSensesDifferOverEpochs) {
+  // Each sense draws a fresh variation sample: two identical marginal ops
+  // are keyed by different epochs, so their (noisy) results may differ —
+  // and reconstructing the memory reproduces the exact same sequence.
+  Geometry g = small_geometry();
+  g.row_slice_bits = 1024;
+  const auto run = [&] {
+    MainMemory analog(g, nvm::Tech::kSttMram, SenseFidelity::kAnalog, 3);
+    const RowAddr r0{0, 0, 0, 0, 0}, r1{0, 0, 0, 0, 1};
+    Rng rng(5);
+    analog.write_row(r0, BitVector::random(g.rank_row_bits(), 0.5, rng));
+    analog.write_row(r1, BitVector::random(g.rank_row_bits(), 0.5, rng));
+    std::vector<BitVector> out;
+    out.push_back(analog.sense_rows({r0, r1}, BitOp::kXor));
+    out.push_back(analog.sense_rows({r0, r1}, BitOp::kXor));
+    return out;
+  };
+  const auto first = run(), second = run();
+  EXPECT_EQ(first, second);  // same seed, same epoch sequence
 }
 
 TEST_F(MainMemoryTest, RowsWrittenCountsDistinct) {

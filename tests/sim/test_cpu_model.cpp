@@ -101,6 +101,24 @@ TEST(SimdCpuModel, ScalarCost) {
   EXPECT_GT(with_mem.energy.get("mem.read"), 0.0);
 }
 
+TEST(SimdCpuModel, WordAlignedFootprint) {
+  // The host kernels process whole 64-bit words, so the baseline is charged
+  // per word: a sub-word tail costs the same as the rounded-up size, and
+  // word-multiple sizes (every figure's operand size) are charged exactly
+  // (bits+7)/8 bytes — the figure 10/11 baseline ratios are unaffected by
+  // the word-parallel refactor.
+  SimdCpuModel a({}, MemKind::kPcm), b({}, MemKind::kPcm);
+  const auto exact = a.bulk_op(or2(1ull << 20));
+  const auto tail = b.bulk_op(or2((1ull << 20) - 17));
+  EXPECT_EQ(tail.time_ns, exact.time_ns);
+  EXPECT_EQ(tail.energy.get("mem.read"), exact.energy.get("mem.read"));
+  EXPECT_EQ(tail.energy.get("mem.write"), exact.energy.get("mem.write"));
+  // And a whole extra word does cost more.
+  SimdCpuModel c({}, MemKind::kPcm);
+  const auto wider = c.bulk_op(or2((1ull << 20) + 64 * 64 * 8));
+  EXPECT_GT(wider.time_ns, exact.time_ns);
+}
+
 TEST(SimdCpuModel, RejectsBadOps) {
   SimdCpuModel cpu({}, MemKind::kDram);
   TraceOp empty;
