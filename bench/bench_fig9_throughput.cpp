@@ -21,6 +21,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "obs/schedule_trace.hpp"
 #include "pinatubo/allocator.hpp"
 #include "pinatubo/backend.hpp"
 #include "pinatubo/engine.hpp"
@@ -131,5 +132,14 @@ int main(int argc, char** argv) {
   json.add("batched_speedup", serial.time_ns / r.cost.time_ns);
   json.add("engine_mode", serial_only ? "serial" : "overlapped");
   json.write(parse_json_path(argc, argv));
+
+  const std::string trace_path = parse_trace_path(argc, argv);
+  if (!trace_path.empty()) {
+    obs::TraceSession trace(true);
+    obs::render_schedule(trace, plans, r, 0.0);
+    trace.write_chrome_json(trace_path);
+    std::printf("\nwrote batched-section schedule trace to %s (%zu spans)\n",
+                trace_path.c_str(), trace.spans().size());
+  }
   return 0;
 }

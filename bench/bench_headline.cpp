@@ -6,6 +6,7 @@
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
+#include "obs/trace.hpp"
 #include "pinatubo/backend.hpp"
 
 using namespace pinatubo;
@@ -13,9 +14,13 @@ using namespace pinatubo::bench;
 
 int main(int argc, char** argv) {
   const double scale = parse_scale(argc, argv);
+  const std::string trace_path = parse_trace_path(argc, argv);
+  obs::TraceSession trace(!trace_path.empty());
+
   const auto workloads = apps::paper_workloads(scale);
   const auto baselines = run_baselines(workloads);
   core::PinatuboBackend pin128({}, {nvm::Tech::kPcm, 128});
+  pin128.set_trace(&trace);
   const auto run = run_suite(pin128, workloads);
 
   std::vector<double> sp_bit, en_bit, sp_all, en_all, sp_best, en_best;
@@ -62,5 +67,12 @@ int main(int argc, char** argv) {
   json.add_array("app_speedup", sp_apps);
   json.add_array("app_energy", en_apps);
   json.write(parse_json_path(argc, argv));
+
+  if (trace.enabled()) {
+    trace.write_chrome_json(trace_path);
+    std::printf("wrote schedule trace to %s (%zu spans); open in "
+                "chrome://tracing or ui.perfetto.dev\n",
+                trace_path.c_str(), trace.spans().size());
+  }
   return 0;
 }

@@ -86,13 +86,23 @@ bool parse_flag(int argc, char** argv, const std::string& name) {
   return false;
 }
 
-std::string parse_json_path(int argc, char** argv) {
+std::string parse_path_arg(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  const std::string prefix = flag + "=";
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
-      return argv[i + 1];
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return argv[i] + prefix.size();
+    if (flag == argv[i] && i + 1 < argc) return argv[i + 1];
   }
   return {};
+}
+
+std::string parse_json_path(int argc, char** argv) {
+  return parse_path_arg(argc, argv, "json");
+}
+
+std::string parse_trace_path(int argc, char** argv) {
+  return parse_path_arg(argc, argv, "trace-out");
 }
 
 namespace {

@@ -61,8 +61,16 @@ double parse_scale(int argc, char** argv, double def = 1.0);
 /// True when `--<name>` appears among the args.
 bool parse_flag(int argc, char** argv, const std::string& name);
 
+/// Path given as "--<name> <path>" or "--<name>=<path>"; empty when absent.
+std::string parse_path_arg(int argc, char** argv, const std::string& name);
+
 /// Path given as "--json <path>" or "--json=<path>"; empty when absent.
 std::string parse_json_path(int argc, char** argv);
+
+/// Path given as "--trace-out <path>" or "--trace-out=<path>"; empty when
+/// absent.  Benches that price through the execution engine write a
+/// Chrome trace-event JSON of the schedule there (see DESIGN.md §9).
+std::string parse_trace_path(int argc, char** argv);
 
 /// Minimal JSON object writer for machine-readable bench output
 /// (BENCH_*.json files consumed by the perf-trajectory tooling).

@@ -3,7 +3,11 @@
 // few representative op costs.
 //
 // Build & run:  ./examples/machine_explorer [configs/default.cfg] [k=v ...]
+//                                           [--trace-out batch.json]
+// `--trace-out` writes the demo batch's schedule as Chrome trace-event
+// JSON (open in chrome://tracing or ui.perfetto.dev).
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -13,6 +17,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "nvm/area_model.hpp"
+#include "obs/trace.hpp"
 #include "pinatubo/backend.hpp"
 #include "pinatubo/driver.hpp"
 
@@ -21,9 +26,14 @@ using namespace pinatubo;
 int main(int argc, char** argv) {
   Config cfg;
   std::vector<std::string> overrides;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.find('=') != std::string::npos) {
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace-out="));
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg.find('=') != std::string::npos) {
       overrides.push_back(arg);
     } else {
       std::ifstream f(arg);
@@ -112,6 +122,8 @@ int main(int argc, char** argv) {
   ropts.tech = tech;
   ropts.max_rows = max_rows;
   core::PimRuntime pim(geo, ropts);
+  obs::TraceSession trace(!trace_path.empty());
+  pim.set_trace(&trace);
   // Two-group vectors span both ranks, so the engine overlaps the groups
   // of independent ops; the last two ops stream their result to the host.
   const std::uint64_t bits = 2 * geo.row_group_bits();
@@ -145,5 +157,13 @@ int main(int argc, char** argv) {
               units::format_energy(pim.cost().energy.total_pj())});
   br.add_note("bus bytes moved: " + units::format_bytes(st.bus_bytes));
   br.print();
+
+  if (trace.enabled()) {
+    trace.write_chrome_json(trace_path);
+    std::printf("\nwrote batch schedule trace to %s (%zu spans over %zu "
+                "tracks); open in chrome://tracing or ui.perfetto.dev\n",
+                trace_path.c_str(), trace.spans().size(),
+                trace.track_names().size());
+  }
   return 0;
 }

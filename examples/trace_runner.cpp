@@ -2,15 +2,20 @@
 //
 //   ./examples/trace_runner --demo              # write a demo trace file
 //   ./examples/trace_runner <trace-file>        # price it on all backends
+//   ./examples/trace_runner <trace-file> --trace-out sched.json
+//                            # also dump Pinatubo-128's schedule as Chrome
+//                            # trace-event JSON (chrome://tracing/Perfetto)
 //
 // Trace files use the line format of src/sim/trace_io.hpp, so they can be
 // produced by any tool (or by hand) and shared between machines.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "apps/vector_workload.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "obs/trace.hpp"
 #include "pinatubo/backend.hpp"
 #include "sim/acpim_backend.hpp"
 #include "sim/sdram_backend.hpp"
@@ -21,8 +26,17 @@ using namespace pinatubo;
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s (--demo | <trace-file>)\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s (--demo | <trace-file> [--trace-out <json>])\n",
+                 argv[0]);
     return 1;
+  }
+  std::string trace_out;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0)
+      trace_out = argv[i] + 12;
+    else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+      trace_out = argv[++i];
   }
   if (std::strcmp(argv[1], "--demo") == 0) {
     const auto trace =
@@ -44,6 +58,8 @@ int main(int argc, char** argv) {
   sim::AcPimBackend acpim;
   core::PinatuboBackend pin2({}, {nvm::Tech::kPcm, 2});
   core::PinatuboBackend pin128({}, {nvm::Tech::kPcm, 128});
+  obs::TraceSession sched_trace(!trace_out.empty());
+  pin128.set_trace(&sched_trace);
 
   Table t("Trace cost across architectures");
   t.set_header({"backend", "bitwise time", "bitwise energy", "total time"});
@@ -56,5 +72,11 @@ int main(int argc, char** argv) {
                units::format_time(r.total_time_ns())});
   }
   t.print();
+
+  if (sched_trace.enabled()) {
+    sched_trace.write_chrome_json(trace_out);
+    std::printf("\nwrote Pinatubo-128 schedule trace to %s (%zu spans)\n",
+                trace_out.c_str(), sched_trace.spans().size());
+  }
   return 0;
 }

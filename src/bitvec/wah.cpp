@@ -29,6 +29,28 @@ void WahBitmap::append_group(std::uint32_t literal) {
   words_.push_back(literal);
 }
 
+WahBitmap WahBitmap::from_words(std::uint64_t bits,
+                                std::vector<std::uint32_t> words) {
+  std::uint64_t groups = 0;
+  for (const std::uint32_t word : words) {
+    if ((word & kFillFlag) != 0) {
+      const std::uint32_t run = word & kMaxRun;
+      PIN_CHECK_MSG(run > 0, "WAH fill word with zero run");
+      groups += run;
+    } else {
+      ++groups;
+    }
+  }
+  const std::uint64_t expected = (bits + kGroupBits - 1) / kGroupBits;
+  PIN_CHECK_MSG(groups == expected, "WAH words cover " << groups
+                                                       << " groups, expected "
+                                                       << expected);
+  WahBitmap w;
+  w.bits_ = bits;
+  w.words_ = std::move(words);
+  return w;
+}
+
 WahBitmap WahBitmap::compress(const BitVector& v) {
   WahBitmap w;
   w.bits_ = v.size();

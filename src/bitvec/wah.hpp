@@ -31,6 +31,13 @@ class WahBitmap {
   /// Decompresses back to a plain bit-vector.
   BitVector decompress() const;
 
+  /// Builds a bitmap from an already-encoded word stream (I/O, tests).
+  /// Validates that the words cover exactly `ceil(bits/31)` groups; the
+  /// encoding may be non-canonical (e.g. adjacent fills of one value, or
+  /// literal all-zero words) — every reader handles that.
+  static WahBitmap from_words(std::uint64_t bits,
+                              std::vector<std::uint32_t> words);
+
   std::uint64_t size_bits() const { return bits_; }
   /// Physical size of the compressed representation.
   std::size_t word_count() const { return words_.size(); }
@@ -52,16 +59,15 @@ class WahBitmap {
   /// Raw encoded words (tests / traffic accounting).
   const std::vector<std::uint32_t>& words() const { return words_; }
 
- private:
   static constexpr unsigned kGroupBits = 31;
   static constexpr std::uint32_t kFillFlag = 0x80000000u;
   static constexpr std::uint32_t kFillValue = 0x40000000u;
+  /// Longest run one fill word encodes (in 31-bit groups); longer runs
+  /// split into consecutive fill words.
   static constexpr std::uint32_t kMaxRun = 0x3fffffffu;
 
-  /// Appends one literal 31-bit group, merging into fills when possible.
-  void append_group(std::uint32_t literal);
-
-  /// Streaming decoder over 31-bit groups.
+  /// Streaming decoder over 31-bit groups.  `done()` turns true exactly
+  /// when every encoded group has been consumed.
   class Decoder {
    public:
     explicit Decoder(const WahBitmap& w) : words_(&w.words_) {}
@@ -75,6 +81,10 @@ class WahBitmap {
     std::uint32_t run_left_ = 0;
     std::uint32_t run_value_ = 0;
   };
+
+ private:
+  /// Appends one literal 31-bit group, merging into fills when possible.
+  void append_group(std::uint32_t literal);
 
   template <typename Fn>
   static WahBitmap combine(const WahBitmap& a, const WahBitmap& b, Fn&& fn);

@@ -1,5 +1,7 @@
 #include "common/config.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -70,8 +72,12 @@ std::int64_t Config::get_int(const std::string& key, std::int64_t def) const {
   const auto v = get(key);
   if (!v) return def;
   char* end = nullptr;
+  errno = 0;
   const long long r = std::strtoll(v->c_str(), &end, 0);
-  PIN_CHECK_MSG(end && *end == '\0', "bad int for " << key << ": " << *v);
+  PIN_CHECK_MSG(end && *end == '\0' && end != v->c_str(),
+                "bad int for " << key << ": " << *v);
+  PIN_CHECK_MSG(errno != ERANGE,
+                "int out of range for " << key << ": " << *v);
   return r;
 }
 
@@ -79,9 +85,17 @@ std::uint64_t Config::get_u64(const std::string& key,
                               std::uint64_t def) const {
   const auto v = get(key);
   if (!v) return def;
+  // strtoull silently accepts a sign and wraps negatives mod 2^64; a
+  // negative value is never a valid u64 config, so reject it outright.
+  PIN_CHECK_MSG(v->find('-') == std::string::npos,
+                "negative u64 for " << key << ": " << *v);
   char* end = nullptr;
+  errno = 0;
   const unsigned long long r = std::strtoull(v->c_str(), &end, 0);
-  PIN_CHECK_MSG(end && *end == '\0', "bad u64 for " << key << ": " << *v);
+  PIN_CHECK_MSG(end && *end == '\0' && end != v->c_str(),
+                "bad u64 for " << key << ": " << *v);
+  PIN_CHECK_MSG(errno != ERANGE,
+                "u64 out of range for " << key << ": " << *v);
   return r;
 }
 
@@ -89,8 +103,14 @@ double Config::get_double(const std::string& key, double def) const {
   const auto v = get(key);
   if (!v) return def;
   char* end = nullptr;
+  errno = 0;
   const double r = std::strtod(v->c_str(), &end);
-  PIN_CHECK_MSG(end && *end == '\0', "bad double for " << key << ": " << *v);
+  PIN_CHECK_MSG(end && *end == '\0' && end != v->c_str(),
+                "bad double for " << key << ": " << *v);
+  // ERANGE covers overflow (+-HUGE_VAL) and underflow (denormal/0); only
+  // overflow is a config error — underflow rounds to a usable value.
+  PIN_CHECK_MSG(errno != ERANGE || std::abs(r) != HUGE_VAL,
+                "double out of range for " << key << ": " << *v);
   return r;
 }
 

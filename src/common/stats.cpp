@@ -57,6 +57,10 @@ double geomean(const std::vector<double>& xs) {
 double percentile(std::vector<double> xs, double p) {
   PIN_CHECK(!xs.empty());
   PIN_CHECK(p >= 0.0 && p <= 100.0);
+  // NaN breaks operator<'s strict weak ordering (sort is UB) and would
+  // poison the interpolation; reject it up front.
+  for (const double x : xs)
+    PIN_CHECK_MSG(!std::isnan(x), "percentile: NaN sample");
   std::sort(xs.begin(), xs.end());
   const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
@@ -72,11 +76,15 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  // Casting a NaN fraction to an integer is UB; clamping cannot save it.
+  PIN_CHECK_MSG(!std::isnan(x), "Histogram::add: NaN sample");
+  // Clamp in double space: casting an out-of-range double (e.g. from an
+  // infinite sample) to an integer is UB too.
+  const double last = static_cast<double>(counts_.size()) - 1.0;
   const double frac = (x - lo_) / (hi_ - lo_);
-  auto idx = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  const double scaled =
+      std::clamp(frac * static_cast<double>(counts_.size()), 0.0, last);
+  ++counts_[static_cast<std::size_t>(scaled)];
   ++total_;
 }
 

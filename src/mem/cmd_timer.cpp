@@ -49,11 +49,19 @@ double ChannelTimer::issue_data_after(unsigned bank, double ready_ns,
   const double bank_done = issue_after(bank, ready_ns, occupy_ns);
   const double start = std::max(bank_done, data_free_);
   data_free_ = start + static_cast<double>(bytes) / bytes_per_ns_;
+  // The bank's buffers hold the result until the burst drains: a later
+  // command to the same bank mid-burst would clobber the latched data, so
+  // the bank stays occupied through the transfer.
+  banks_[bank] = std::max(banks_[bank], data_free_);
   return data_free_;
 }
 
 double ChannelTimer::transfer(std::uint64_t bytes) {
-  data_free_ += static_cast<double>(bytes) / bytes_per_ns_;
+  // Even a pure buffer read owns the command-bus slot that starts the
+  // burst, and the burst serializes behind in-flight transfers.
+  const double start = std::max(cmd_free_, data_free_);
+  cmd_free_ = start + cmd_slot_ns_;
+  data_free_ = start + static_cast<double>(bytes) / bytes_per_ns_;
   return data_free_;
 }
 

@@ -36,7 +36,9 @@ class ChannelTimer {
   double issue_all_banks(double occupy_ns);
 
   /// Command plus a data burst of `bytes`: the burst occupies the data bus
-  /// after the bank operation completes.  Returns burst completion time.
+  /// after the bank operation completes, and the bank stays busy until the
+  /// burst drains (its buffers hold the outgoing data).  Returns burst
+  /// completion time.
   double issue_data(unsigned bank, double occupy_ns, std::uint64_t bytes);
 
   /// Like `issue_data`, but the command additionally waits until `ready_ns`
@@ -45,7 +47,8 @@ class ChannelTimer {
   double issue_data_after(unsigned bank, double ready_ns, double occupy_ns,
                           std::uint64_t bytes);
 
-  /// Pure data-bus transfer (e.g. CPU read of a result already in a buffer).
+  /// Data-bus transfer of a result already in a buffer (e.g. a CPU read):
+  /// consumes one command-bus slot, then serializes on the data bus.
   double transfer(std::uint64_t bytes);
 
   /// Latest completion time across all resources.

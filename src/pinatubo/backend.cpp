@@ -1,6 +1,7 @@
 #include "pinatubo/backend.hpp"
 
 #include "common/error.hpp"
+#include "obs/schedule_trace.hpp"
 #include "pinatubo/engine.hpp"
 
 namespace pinatubo::core {
@@ -51,7 +52,13 @@ sim::BackendResult PinatuboBackend::execute(const sim::OpTrace& trace) {
   // The whole trace is one batch: the engine overlaps independent ops
   // across ranks (or serializes them under cfg.serial).
   const ExecutionEngine engine(model, EngineOptions{cfg_.serial});
-  result.bitwise = engine.run(plans).cost;
+  const ExecutionEngine::Result r = engine.run(plans);
+  if (trace_ && trace_->enabled()) {
+    trace_t0_ = obs::render_schedule(*trace_, plans, r, trace_t0_);
+    trace_->count("backend.batches");
+    trace_->count("backend.bus_bytes", r.profile.bus_bytes);
+  }
+  result.bitwise = r.cost;
   // Scalar remainder on the host CPU over PCM.
   sim::SimdCpuModel host({}, sim::MemKind::kPcm);
   result.scalar = host.scalar(trace.scalar_ops, trace.scalar_bytes);

@@ -10,6 +10,7 @@
 // the technology margin (CSA reference analysis) can only lower it.
 #pragma once
 
+#include "obs/trace.hpp"
 #include "pinatubo/allocator.hpp"
 #include "pinatubo/cost_model.hpp"
 #include "pinatubo/scheduler.hpp"
@@ -46,12 +47,19 @@ class PinatuboBackend final : public sim::Backend {
                     std::uint64_t dst_id, std::uint64_t bits,
                     bool host_reads_result, double result_density) const;
 
+  /// Attaches an observability session (nullptr detaches): each executed
+  /// trace is rendered as one batch of spans, successive traces tiled
+  /// end-to-end on the session timeline.
+  void set_trace(obs::TraceSession* session) { trace_ = session; }
+
  private:
   mem::Geometry geo_;
   PinatuboBackendConfig cfg_;
   RowAllocator alloc_;
   OpScheduler sched_;
   ClassCounts classes_;
+  obs::TraceSession* trace_ = nullptr;
+  double trace_t0_ = 0.0;  ///< session-timeline end of the last trace
 };
 
 }  // namespace pinatubo::core

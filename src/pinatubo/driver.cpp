@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/schedule_trace.hpp"
 
 namespace pinatubo::core {
 
@@ -181,6 +182,7 @@ void PimRuntime::execute_intra(BitOp op, const std::vector<Placement>& srcs_in,
 
 void PimRuntime::submit(OpPlan plan) {
   ++stats_.ops;
+  if (trace_ && trace_->enabled()) trace_->count("pim.ops");
   stats_.intra_steps += plan.count(StepKind::kIntraSub);
   stats_.inter_sub_steps += plan.count(StepKind::kInterSub);
   stats_.inter_bank_steps += plan.count(StepKind::kInterBank);
@@ -195,6 +197,17 @@ void PimRuntime::submit(OpPlan plan) {
 
 void PimRuntime::flush(const std::vector<OpPlan>& plans) {
   const ExecutionEngine::Result r = engine_.run(plans);
+  if (trace_ && trace_->enabled()) {
+    // Batches tile the trace timeline exactly where they accrue into
+    // cost_: batch i starts at the makespan accumulated before it.
+    obs::render_schedule(*trace_, plans, r, cost_.time_ns);
+    trace_->count("pim.batches");
+    trace_->count("pim.bus_bytes", r.profile.bus_bytes);
+    for (std::size_t k = 0; k < kStepKindCount; ++k)
+      trace_->count(std::string("pim.steps.") +
+                        to_string(static_cast<StepKind>(k)),
+                    r.profile.steps[k]);
+  }
   cost_ += r.cost;
   ++stats_.batches;
   stats_.serial_time_ns += r.serial_time_ns;

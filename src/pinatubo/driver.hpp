@@ -24,6 +24,7 @@
 
 #include "bitvec/bitvector.hpp"
 #include "mem/mainmem.hpp"
+#include "obs/trace.hpp"
 #include "pinatubo/allocator.hpp"
 #include "pinatubo/cost_model.hpp"
 #include "pinatubo/engine.hpp"
@@ -122,6 +123,16 @@ class PimRuntime {
   const std::vector<mem::Command>& commands() const { return commands_; }
   void reset_cost();
 
+  /// Attaches an observability session (nullptr detaches).  While attached
+  /// and enabled, every priced batch lands in the session as spans on
+  /// per-rank / per-bus tracks tiled end-to-end (batch i starts where the
+  /// accrued cost stood), and the `pim.*` counters mirror Stats — so the
+  /// trace reconciles exactly: per-class span sums equal
+  /// `stats().by_class[k].time_ns` and the max span end equals
+  /// `cost().time_ns`.  Costs one branch per batch when disabled.
+  void set_trace(obs::TraceSession* session) { trace_ = session; }
+  obs::TraceSession* trace() const { return trace_; }
+
   const mem::Geometry& geometry() const { return mem_.geometry(); }
   const Options& options() const { return opts_; }
   mem::MainMemory& memory() { return mem_; }
@@ -157,6 +168,7 @@ class PimRuntime {
   mem::Cost cost_;
   Stats stats_;
   std::vector<mem::Command> commands_;
+  obs::TraceSession* trace_ = nullptr;
   bool in_batch_ = false;
   std::vector<OpPlan> batch_plans_;
 };

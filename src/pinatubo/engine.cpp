@@ -72,13 +72,20 @@ ExecutionEngine::Result ExecutionEngine::run(
     res.cost.energy.merge(n.cost.energy);  // energy is schedule-invariant
   }
 
+  const auto burst_ns = [&](const Node& n) {
+    const std::uint64_t bytes = model_->step_bus_bytes(*n.s);
+    if (bytes == 0) return 0.0;
+    return std::min(static_cast<double>(bytes) / model_->bus().data_gbps,
+                    n.cost.time_ns);
+  };
+
   if (opts_.serial) {
     // Program-order serial sum: the synchronous-driver baseline.
     double now = 0.0;
     res.schedule.reserve(nodes.size());
     for (const Node& n : nodes) {
       const double done = now + n.cost.time_ns;
-      res.schedule.push_back({n.plan, n.step, now, done});
+      res.schedule.push_back({n.plan, n.step, now, done, burst_ns(n)});
       now = done;
     }
     res.cost.time_ns = now;
@@ -189,19 +196,18 @@ ExecutionEngine::Result ExecutionEngine::run(
       Node& n = nodes[i];
       const PlanStep& s = *n.s;
       const std::uint64_t bytes = model_->step_bus_bytes(s);
+      const double burst = burst_ns(n);
       double done;
       if (bytes > 0) {
         // The trailing data burst serializes on the channel's shared DDR
         // bus; the bank-cluster part of the step occupies the rank.
-        const double burst_ns =
-            static_cast<double>(bytes) / model_->bus().data_gbps;
-        const double occupy = std::max(0.0, n.cost.time_ns - burst_ns);
+        const double occupy = std::max(0.0, n.cost.time_ns - burst);
         done = timers[c].issue_data_after(s.rank, n.ready_ns, occupy, bytes);
       } else {
         done = timers[c].issue_after(s.rank, n.ready_ns, n.cost.time_ns);
       }
-      sched.push_back(
-          {pick_start, i, {n.plan, n.step, done - n.cost.time_ns, done}});
+      sched.push_back({pick_start, i,
+                       {n.plan, n.step, done - n.cost.time_ns, done, burst}});
       ++issued;
       for (std::uint32_t sidx : n.succ) {
         Node& t = nodes[sidx];

@@ -63,6 +63,11 @@ class ExecutionEngine {
     std::uint32_t step = 0;   ///< index into that plan's steps
     double start_ns = 0.0;
     double done_ns = 0.0;
+    /// Data-bus burst duration inside [start, done]: the step's trailing
+    /// `bus_ns` occupy the channel's shared DDR bus (0 for steps that
+    /// stay inside their rank).  Observability renders this window on
+    /// the per-channel bus track.
+    double bus_ns = 0.0;
   };
 
   struct Result {

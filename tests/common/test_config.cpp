@@ -59,5 +59,46 @@ TEST(Config, HexIntegers) {
   EXPECT_EQ(cfg.get_u64("addr", 0), 0x1000u);
 }
 
+TEST(Config, RejectsNegativeU64) {
+  // Regression: strtoull accepts a sign and wraps negatives mod 2^64, so
+  // "-1" used to come back as 18446744073709551615.
+  const auto cfg = Config::from_string("n = -1\nm = -0x10");
+  EXPECT_THROW(cfg.get_u64("n", 0), Error);
+  EXPECT_THROW(cfg.get_u64("m", 0), Error);
+  // get_int still takes signed values, of course.
+  EXPECT_EQ(cfg.get_int("n", 0), -1);
+}
+
+TEST(Config, RejectsOutOfRangeIntegers) {
+  // Regression: ERANGE from strtoll/strtoull went unchecked, silently
+  // clamping to the type extremes.
+  const auto cfg = Config::from_string(
+      "u = 18446744073709551616\n"   // 2^64
+      "i = 9223372036854775808\n"    // 2^63
+      "ineg = -9223372036854775809\n"
+      "umax = 18446744073709551615\n"
+      "imax = 9223372036854775807");
+  EXPECT_THROW(cfg.get_u64("u", 0), Error);
+  EXPECT_THROW(cfg.get_int("i", 0), Error);
+  EXPECT_THROW(cfg.get_int("ineg", 0), Error);
+  // The exact extremes still parse.
+  EXPECT_EQ(cfg.get_u64("umax", 0), 18446744073709551615ull);
+  EXPECT_EQ(cfg.get_int("imax", 0), 9223372036854775807ll);
+}
+
+TEST(Config, RejectsOutOfRangeDouble) {
+  const auto cfg = Config::from_string("big = 1e999\nsmall = 1e-999");
+  EXPECT_THROW(cfg.get_double("big", 0), Error);
+  // Underflow is not an error: it rounds toward zero, a usable value.
+  EXPECT_NEAR(cfg.get_double("small", 1.0), 0.0, 1e-300);
+}
+
+TEST(Config, RejectsEmptyTypedValue) {
+  const auto cfg = Config::from_string("x =");
+  EXPECT_THROW(cfg.get_int("x", 0), Error);
+  EXPECT_THROW(cfg.get_u64("x", 0), Error);
+  EXPECT_THROW(cfg.get_double("x", 0), Error);
+}
+
 }  // namespace
 }  // namespace pinatubo

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -74,6 +75,32 @@ TEST(Histogram, CountsAndClamps) {
   EXPECT_EQ(h.bins()[4], 2u);
   EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
   EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+TEST(Percentile, RejectsNaN) {
+  // Regression: NaN in the sample set broke std::sort's strict weak
+  // ordering (UB) and poisoned the interpolation.
+  EXPECT_THROW(percentile({1.0, std::nan(""), 3.0}, 50), Error);
+  EXPECT_THROW(percentile({std::nan("")}, 0), Error);
+}
+
+TEST(Histogram, RejectsNaN) {
+  // Regression: casting a NaN-derived bin fraction to an integer is UB;
+  // in practice it produced a wild index.
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_THROW(h.add(std::nan("")), Error);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, InfinitiesClampToEdgeBins) {
+  // +-inf scaled the bin fraction to +-inf before the (UB) cast; they now
+  // clamp like any other out-of-range sample.
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.bins()[0], 1u);
+  EXPECT_EQ(h.bins()[4], 1u);
 }
 
 TEST(Histogram, RendersWithoutCrashing) {

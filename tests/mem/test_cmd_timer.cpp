@@ -124,6 +124,63 @@ TEST(ChannelTimer, Validates) {
   EXPECT_THROW(t.issue(0, -1.0), Error);
 }
 
+TEST(ChannelTimer, BankStaysBusyUntilBurstDrains) {
+  // Regression: issue_data left the bank free at bank-op completion while
+  // the burst was still draining its buffers, so a follow-up command to
+  // the same bank could start mid-burst and clobber the latched data.
+  ChannelTimer t(8, bus());
+  // Bank op [0, 10], burst [10, 110] (1280 B at 12.8 GB/s).
+  EXPECT_NEAR(t.issue_data(0, 10.0, 1280), 110.0, 1e-9);
+  // Other banks are unaffected by the burst...
+  EXPECT_NEAR(t.bank_free_ns(1), 1.25, 1e-9);
+  // ...but the bursting bank is held until the transfer drains: the next
+  // command to it starts at 110, not at bank-op completion (would be 15).
+  EXPECT_NEAR(t.issue(0, 5.0), 115.0, 1e-9);
+}
+
+TEST(ChannelTimer, TransferConsumesCommandSlot) {
+  // Regression: transfer() advanced the data bus without consulting or
+  // occupying the command bus, so buffer reads were free commands.
+  ChannelTimer t(2, bus());
+  t.transfer(128);
+  EXPECT_NEAR(t.now_cmd_bus(), 1.25, 1e-9);
+  // The slot it consumed delays the next command.
+  EXPECT_NEAR(t.issue(0, 0.0), 2.5, 1e-9);
+
+  // And a transfer behind a busy command bus waits for its slot.
+  ChannelTimer u(2, bus());
+  for (int i = 0; i < 8; ++i) u.issue(0, 0.0);  // cmd bus busy until 10 ns
+  EXPECT_NEAR(u.transfer(128), 20.0, 1e-9);     // 10 (slot) + 10 (burst)
+}
+
+TEST(ChannelTimer, FinishMonotoneOverRandomSequence) {
+  // Invariant sweep: under any interleaving of the four issue kinds,
+  // finish_ns never moves backwards, every returned completion is within
+  // the horizon, and a bursting bank is never reported free mid-burst.
+  ChannelTimer t(4, bus());
+  std::uint64_t state = 0x2545f4914f6cdd1dull;
+  double horizon = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const unsigned bank = static_cast<unsigned>((state >> 33) % 4);
+    const double occ = static_cast<double>((state >> 11) % 100);
+    const std::uint64_t bytes = (state >> 3) % 2048;
+    double done = 0.0;
+    switch ((state >> 61) & 3) {
+      case 0: done = t.issue(bank, occ); break;
+      case 1:
+        done = t.issue_data(bank, occ, bytes);
+        EXPECT_GE(t.bank_free_ns(bank), done - 1e-9);
+        break;
+      case 2: done = t.transfer(bytes); break;
+      default: done = t.issue_all_banks(occ); break;
+    }
+    EXPECT_LE(done, t.finish_ns() + 1e-9);
+    EXPECT_GE(t.finish_ns(), horizon - 1e-9);
+    horizon = t.finish_ns();
+  }
+}
+
 TEST(Timing, PaperConstants) {
   const auto pcm = pcm_timing();
   EXPECT_DOUBLE_EQ(pcm.t_rcd_ns, 18.3);

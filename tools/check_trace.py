@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by the obs layer.
+
+Checks (stdlib only, used by the bench-smoke CI job):
+  * the file parses as JSON and uses the object form {"traceEvents": [...]};
+  * there is at least one complete ("ph": "X") event;
+  * every complete event carries name/ts/dur/pid/tid with sane values;
+  * metadata events are limited to the known thread-layout kinds;
+  * every span ends by otherData.max_span_end_ns (the reconciled makespan).
+
+Exit status 0 on success; 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+EPS_US = 1e-6  # slack for the ns -> us fixed-point rounding in the exporter
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <trace.json>")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a 'traceEvents' array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' is not an array")
+
+    max_end_ns = doc.get("otherData", {}).get("max_span_end_ns")
+    limit_us = None
+    if max_end_ns is not None:
+        limit_us = float(max_end_ns) / 1e3 + EPS_US
+
+    spans = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") not in ("thread_name", "thread_sort_index",
+                                      "process_name"):
+                fail(f"event {i}: unexpected metadata kind {ev.get('name')!r}")
+            continue
+        if ph != "X":
+            fail(f"event {i}: unexpected phase {ph!r} (want 'X' or 'M')")
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in ev:
+                fail(f"event {i}: complete event missing {key!r}")
+        ts, dur = float(ev["ts"]), float(ev["dur"])
+        if ts < 0 or dur < 0:
+            fail(f"event {i}: negative ts/dur ({ts}, {dur})")
+        if limit_us is not None and ts + dur > limit_us:
+            fail(f"event {i}: span ends at {ts + dur} us, past the "
+                 f"reported makespan {limit_us} us")
+        spans += 1
+
+    if spans == 0:
+        fail("no complete ('ph': 'X') events — empty schedule?")
+    print(f"check_trace: OK: {path}: {spans} spans, "
+          f"makespan {max_end_ns if max_end_ns is not None else 'n/a'} ns")
+
+
+if __name__ == "__main__":
+    main()
