@@ -7,8 +7,16 @@
 // imbalance, and the implied lifetime of the hottest row at a sustained
 // op rate — multi-row activation turns out to be an ENDURANCE feature,
 // not just a performance one.
+//
+// A second section closes the loop with the fault model (DESIGN.md §10):
+// the same hammering runs with an endurance knee + wear-out injection and
+// write-verify + spare-row remapping enabled, measuring how long the
+// accumulator row actually survives and how far row sparing stretches it.
+//
+// `--json BENCH_endurance.json` writes the headline numbers.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "pinatubo/driver.hpp"
@@ -43,9 +51,58 @@ WearResult run(unsigned max_rows) {
   return {pim.memory().wear(), pim.cost().time_ns};
 }
 
+// Hammer an accumulator row through the wear-out fault model until spare
+// rows start dying: measures writes-to-first-remap (the row's real
+// lifetime under the injected knee) and how many spares the workload eats.
+struct WearoutRun {
+  std::uint64_t rounds = 0;
+  std::uint64_t first_remap_round = 0;  ///< 0 = the row never died
+  std::uint64_t remaps = 0;
+  std::uint64_t wearout_cells = 0;
+  std::uint64_t detected = 0;
+  double knee = 0;
+  double wearout_rate = 0;
+};
+
+WearoutRun run_wearout() {
+  core::PimRuntime::Options opts;
+  opts.max_rows = 2;  // the chained config: 63 accumulator writes per op
+  opts.reliability.fault.enabled = true;
+  opts.reliability.fault.endurance_cycles = 500;
+  opts.reliability.fault.wearout_rate = 0.1;
+  // Persistent faults only: write-verify + remap, no sense noise.
+  opts.reliability.verify.sense = reliability::SenseVerify::kNone;
+  opts.reliability.verify.writes = reliability::WriteVerify::kReadback;
+  opts.reliability.retry.spare_rows = 16;
+  core::PimRuntime pim(mem::Geometry{}, opts);
+  Rng rng(5);
+
+  const std::uint64_t bits = 1ull << 14;
+  std::vector<core::PimRuntime::Handle> vecs;
+  for (int i = 0; i < 64; ++i) {
+    vecs.push_back(pim.pim_malloc(bits));
+    pim.pim_write(vecs.back(), BitVector::random(bits, 0.3, rng));
+  }
+
+  WearoutRun r;
+  r.rounds = 40;
+  r.knee = opts.reliability.fault.endurance_cycles;
+  r.wearout_rate = opts.reliability.fault.wearout_rate;
+  for (std::uint64_t round = 1; round <= r.rounds; ++round) {
+    pim.pim_op(BitOp::kOr, vecs, vecs.back());
+    if (r.first_remap_round == 0 && pim.stats().remaps > 0)
+      r.first_remap_round = round;
+  }
+  r.remaps = pim.stats().remaps;
+  r.detected = pim.stats().detected_faults;
+  r.wearout_cells = pim.fault_model()->wearout_cells();
+  return r;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_path(argc, argv);
   const auto pin128 = run(128);
   const auto pin2 = run(2);
 
@@ -91,5 +148,56 @@ int main() {
       static_cast<double>(pin128.wear.max_row_writes());
   std::printf("\nhot-row wear, Pinatubo-2 vs Pinatubo-128: %.0fx\n",
               wear_ratio);
+
+  // Lifetime under the injected wear-out model: same Pinatubo-2 hammering,
+  // but cells actually die past the endurance knee and write-verify +
+  // spare-row remapping keep the results correct (DESIGN.md §10).
+  const auto wo = run_wearout();
+  Table w("Lifetime under the wear-out fault model (Pinatubo-2)");
+  w.set_header({"metric", "value"});
+  w.add_row({"endurance knee (writes)",
+             std::to_string(static_cast<std::uint64_t>(wo.knee))});
+  w.add_row({"cell-kill rate past knee", Table::num(wo.wearout_rate, 2)});
+  w.add_row({"rounds of 64-op OR", std::to_string(wo.rounds)});
+  w.add_row({"round of first remap",
+             wo.first_remap_round ? std::to_string(wo.first_remap_round)
+                                  : "never"});
+  // 63 accumulator writes per round: writes the hot row survived before
+  // its first cell died and the row was retired to a spare.
+  w.add_row({"hot-row writes at first death",
+             wo.first_remap_round
+                 ? std::to_string(wo.first_remap_round * 63)
+                 : "-"});
+  w.add_row({"wear-out cells killed", std::to_string(wo.wearout_cells)});
+  w.add_row({"faults caught by write-verify", std::to_string(wo.detected)});
+  w.add_row({"spare-row remaps", std::to_string(wo.remaps)});
+  w.add_note("each remap retires the worn row and restarts the wear clock");
+  w.add_note("on a fresh spare: N spares stretch hot-row lifetime ~(N+1)x");
+  w.print();
+
+  bench::JsonReport rep;
+  rep.add("row_writes_pin128",
+          static_cast<double>(pin128.wear.total_row_writes()));
+  rep.add("row_writes_pin2",
+          static_cast<double>(pin2.wear.total_row_writes()));
+  rep.add("hot_row_writes_pin128",
+          static_cast<double>(pin128.wear.max_row_writes()));
+  rep.add("hot_row_writes_pin2",
+          static_cast<double>(pin2.wear.max_row_writes()));
+  rep.add("wear_imbalance_pin128", pin128.wear.imbalance());
+  rep.add("wear_imbalance_pin2", pin2.wear.imbalance());
+  rep.add("hot_row_lifetime_s_pin128", lifetime_s(pin128));
+  rep.add("hot_row_lifetime_s_pin2", lifetime_s(pin2));
+  rep.add("hot_row_wear_ratio", wear_ratio);
+  rep.add("wearout_knee_writes", wo.knee);
+  rep.add("wearout_rate", wo.wearout_rate);
+  rep.add("wearout_first_remap_round",
+          static_cast<double>(wo.first_remap_round));
+  rep.add("wearout_hot_row_writes_at_death",
+          static_cast<double>(wo.first_remap_round * 63));
+  rep.add("wearout_cells_killed", static_cast<double>(wo.wearout_cells));
+  rep.add("wearout_detected_faults", static_cast<double>(wo.detected));
+  rep.add("wearout_remaps", static_cast<double>(wo.remaps));
+  rep.write(json_path);
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "obs/trace.hpp"
 #include "pinatubo/backend.hpp"
 #include "pinatubo/driver.hpp"
+#include "reliability/policy.hpp"
 
 using namespace pinatubo;
 
@@ -78,6 +79,15 @@ int main(int argc, char** argv) {
   t.print();
   std::printf("\n");
 
+  // Active fault-injection / recovery policy (validated: typos in
+  // fault.*/verify.*/retry.* keys fail loudly here).
+  const auto relpol = reliability::policy_from_config(cfg);
+  Table rp("Reliability policy");
+  rp.set_header({"key", "value"});
+  for (const auto& [k, v] : reliability::describe(relpol)) rp.add_row({k, v});
+  rp.print();
+  std::printf("\n");
+
   nvm::ChipStructure chip;
   chip.banks = geo.banks_per_chip;
   chip.subarrays_per_bank = geo.subarrays_per_bank;
@@ -121,6 +131,7 @@ int main(int argc, char** argv) {
   core::PimRuntime::Options ropts;
   ropts.tech = tech;
   ropts.max_rows = max_rows;
+  ropts.reliability = relpol;
   core::PimRuntime pim(geo, ropts);
   obs::TraceSession trace(!trace_path.empty());
   pim.set_trace(&trace);

@@ -31,8 +31,33 @@ std::size_t MainMemory::row_in_bank(const RowAddr& a) const {
          a.row;
 }
 
-const MainMemory::Word* MainMemory::find_row(const RowAddr& addr) const {
-  codec_.check(addr);
+RowAddr MainMemory::physical(const RowAddr& logical) const {
+  if (remap_.empty()) return logical;
+  const auto it = remap_.find(codec_.encode(logical));
+  return it == remap_.end() ? logical : codec_.decode(it->second);
+}
+
+void MainMemory::remap_row(const RowAddr& logical, const RowAddr& replacement) {
+  codec_.check(logical);
+  codec_.check(replacement);
+  remap_[codec_.encode(logical)] = codec_.encode(replacement);
+}
+
+void MainMemory::reset_campaign() {
+  for (BankArena& b : banks_) {
+    b.slots.clear();
+    b.slabs.clear();
+    b.used = 0;
+  }
+  rows_written_ = 0;
+  sense_epoch_ = 0;
+  remap_.clear();
+  wear_.reset();
+}
+
+const MainMemory::Word* MainMemory::find_row(const RowAddr& logical) const {
+  codec_.check(logical);
+  const RowAddr addr = physical(logical);
   const BankArena& bank = banks_[bank_index(addr)];
   if (bank.slots.empty()) return nullptr;
   const std::uint32_t slot = bank.slots[row_in_bank(addr)];
@@ -42,8 +67,9 @@ const MainMemory::Word* MainMemory::find_row(const RowAddr& addr) const {
          (idx % kRowsPerSlab) * row_words_;
 }
 
-MainMemory::Word* MainMemory::materialize_row(const RowAddr& addr) {
-  codec_.check(addr);
+MainMemory::Word* MainMemory::materialize_row(const RowAddr& logical) {
+  codec_.check(logical);
+  const RowAddr addr = physical(logical);
   BankArena& bank = banks_[bank_index(addr)];
   if (bank.slots.empty())
     bank.slots.assign(geometry().rows_per_bank(), 0);
@@ -60,14 +86,30 @@ MainMemory::Word* MainMemory::materialize_row(const RowAddr& addr) {
          (idx % kRowsPerSlab) * row_words_;
 }
 
+void MainMemory::finish_write(const RowAddr& logical, Word* row,
+                              std::size_t bits, std::size_t word_lo,
+                              std::size_t word_hi) {
+  // Wear and fault keying follow the PHYSICAL row: a remapped row wears
+  // its spare, and the spare's own manufacturing faults apply to it.
+  const std::uint64_t pid = codec_.encode(physical(logical));
+  wear_.record(pid, bits);
+  if (hooks_ == nullptr) return;
+  hooks_->on_write(pid, wear_.writes_of(pid), sense_epoch_,
+                   {row, row_words_}, word_lo, word_hi);
+  // Re-establish the trailing-zero invariant (a stuck-at-1 cell past the
+  // row width is physically real but outside the addressable array).
+  const std::size_t tail = geometry().rank_row_bits() % BitVector::kWordBits;
+  if (tail != 0) row[row_words_ - 1] &= (Word{1} << tail) - 1;
+}
+
 void MainMemory::write_row(const RowAddr& addr, const BitVector& data) {
   PIN_CHECK_MSG(data.size() == geometry().rank_row_bits(),
                 "row write size " << data.size() << " != "
                                   << geometry().rank_row_bits());
-  wear_.record(codec_.encode(addr), data.size());
   Word* dst = materialize_row(addr);
   const auto src = data.words();
   std::copy(src.begin(), src.end(), dst);
+  finish_write(addr, dst, data.size(), 0, row_words_);
 }
 
 void MainMemory::write_row_partial(const RowAddr& addr,
@@ -78,9 +120,11 @@ void MainMemory::write_row_partial(const RowAddr& addr,
                 "partial write [" << bit_offset << ", "
                                   << bit_offset + data.size() << ") exceeds row "
                                   << row_bits);
-  wear_.record(codec_.encode(addr), data.size());
   Word* dst = materialize_row(addr);
   copy_bits({dst, row_words_}, bit_offset, data.words(), 0, data.size());
+  finish_write(addr, dst, data.size(), bit_offset / BitVector::kWordBits,
+               (bit_offset + data.size() + BitVector::kWordBits - 1) /
+                   BitVector::kWordBits);
 }
 
 BitVector MainMemory::read_row(const RowAddr& addr) const {
@@ -122,6 +166,11 @@ BitVector MainMemory::sense_rows(const std::vector<RowAddr>& rows, BitOp op) {
                                             << " over " << n << " rows on "
                                             << nvm::to_string(tech_));
 
+  // One epoch per sense: keys both the analog variation draws and the
+  // fault model's flip draws, so every sense (and every re-sense retry)
+  // samples fresh, thread-count-independent randomness.
+  ++sense_epoch_;
+
   const std::size_t width = geometry().rank_row_bits();
   std::vector<std::span<const Word>> views;
   views.reserve(rows.size());
@@ -157,7 +206,7 @@ BitVector MainMemory::sense_rows(const std::vector<RowAddr>& rows, BitOp op) {
     // counter-based draw stream from (seed, sense epoch, word index), so
     // results are bit-identical for any thread count.
     const circuit::SenseBatch batch(csa_, *cell_, op, n);
-    const std::uint64_t key = CounterRng::stream_base(seed_, ++sense_epoch_);
+    const std::uint64_t key = CounterRng::stream_base(seed_, sense_epoch_);
     parallel_for(
         0, row_words_,
         [&](std::size_t lo, std::size_t hi) {
@@ -170,8 +219,21 @@ BitVector MainMemory::sense_rows(const std::vector<RowAddr>& rows, BitOp op) {
         },
         /*grain=*/16);
   }
-  // Restore the trailing-zero invariant (INV and analog lanes can set tail
-  // bits past the row width).
+  // BER-driven sense flips (fault model): transient read failures XOR into
+  // the sensed output only; the array contents stay intact.  Applied in a
+  // serial pass — sense_flips is a pure function of (epoch, word), so the
+  // result is identical for any thread count either way.
+  if (hooks_ != nullptr) {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(rows.size());
+    for (const auto& r : rows) ids.push_back(codec_.encode(physical(r)));
+    const double scale = hooks_->sense_scale(sense_epoch_, ids);
+    if (scale > 0.0)
+      for (std::size_t w = 0; w < row_words_; ++w)
+        outw[w] ^= hooks_->sense_flips(sense_epoch_, w, scale);
+  }
+  // Restore the trailing-zero invariant (INV, analog lanes and fault flips
+  // can set tail bits past the row width).
   const std::size_t tail = width % BitVector::kWordBits;
   if (tail != 0) outw[row_words_ - 1] &= (Word{1} << tail) - 1;
   return out;

@@ -25,12 +25,14 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "bitvec/bitvector.hpp"
 #include "circuit/csa.hpp"
 #include "common/random.hpp"
 #include "mem/address.hpp"
+#include "mem/fault_hooks.hpp"
 #include "mem/wear.hpp"
 #include "nvm/technology.hpp"
 
@@ -93,6 +95,33 @@ class MainMemory {
   const WearTracker& wear() const { return wear_; }
   WearTracker& wear() { return wear_; }
 
+  // ---- reliability seams ---------------------------------------------------
+
+  /// Attaches a fault model (nullptr detaches; non-owning).  While
+  /// attached, writes corrupt stored words through `FaultHooks::on_write`
+  /// and senses XOR `FaultHooks::sense_flips` into their output.
+  void set_fault_hooks(FaultHooks* hooks) { hooks_ = hooks; }
+  FaultHooks* fault_hooks() const { return hooks_; }
+
+  /// Redirects every future access to `logical` (all of find/materialize,
+  /// wear accounting and fault keying) to `replacement` — the spare-row
+  /// remap a reliability layer performs when a row goes persistently bad.
+  /// Re-remapping a row overwrites the entry (the old spare is orphaned).
+  /// Stored data is NOT copied; callers rewrite the row afterwards.
+  void remap_row(const RowAddr& logical, const RowAddr& replacement);
+  /// Number of rows currently remapped to spares.
+  std::size_t remapped_rows() const { return remap_.size(); }
+  /// The physical location `logical` resolves to (identity when unmapped).
+  RowAddr physical(const RowAddr& logical) const;
+
+  /// Senses performed so far (the fault model's simulated-time proxy).
+  std::uint64_t sense_epoch() const { return sense_epoch_; }
+
+  /// Forgets all stored rows, wear, remaps and the sense epoch — a fresh
+  /// memory for back-to-back campaigns in one process.  The attached fault
+  /// hooks (if any) are kept; reset them separately.
+  void reset_campaign();
+
  private:
   /// Per-bank row storage: slot table + stable slabs of row words.
   /// Slabs are never reallocated, so row word pointers (and row_view
@@ -105,12 +134,16 @@ class MainMemory {
   static constexpr std::size_t kRowsPerSlab = 64;
 
   /// Words of the row, or nullptr if never materialized.  Single lookup.
+  /// Applies the remap translation; `addr` is the logical coordinate.
   const Word* find_row(const RowAddr& addr) const;
   /// Words of the row, allocating a zeroed slot on first touch.
   Word* materialize_row(const RowAddr& addr);
 
   std::size_t bank_index(const RowAddr& a) const;
   std::size_t row_in_bank(const RowAddr& a) const;
+  /// Wear accounting + persistent-fault hook shared by both write paths.
+  void finish_write(const RowAddr& logical, Word* row, std::size_t bits,
+                    std::size_t word_lo, std::size_t word_hi);
 
   AddressCodec codec_;
   nvm::Tech tech_;
@@ -124,6 +157,9 @@ class MainMemory {
   std::vector<Word> zero_row_;
   std::size_t rows_written_ = 0;
   WearTracker wear_;
+  FaultHooks* hooks_ = nullptr;
+  /// Spare-row translation: encoded logical row id -> encoded physical id.
+  std::unordered_map<std::uint64_t, std::uint64_t> remap_;
 };
 
 }  // namespace pinatubo::mem

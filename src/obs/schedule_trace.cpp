@@ -21,10 +21,10 @@ double render_schedule(TraceSession& session,
         session.track(ch + "/rank" + std::to_string(step.rank));
     // Name carries enough to trace a span back to its op: batch position,
     // step position, the logical op, and the rows it opens.
-    const std::string name = "op" + std::to_string(ss.plan) + "." +
-                             std::to_string(ss.step) + " " +
-                             to_string(step.op) + " r" +
-                             std::to_string(step.rows);
+    std::string name = "op" + std::to_string(ss.plan) + "." +
+                       std::to_string(ss.step) + " " + to_string(step.op) +
+                       " r" + std::to_string(step.rows);
+    if (step.attempt > 0) name += " retry" + std::to_string(step.attempt);
     session.span(name, t0_ns + ss.start_ns, ss.done_ns - ss.start_ns,
                  rank_track, to_string(step.kind));
     if (ss.bus_ns > 0.0) {

@@ -8,10 +8,26 @@ const char* to_string(AllocPolicy p) {
   return p == AllocPolicy::kPimAware ? "pim-aware" : "naive";
 }
 
-RowAllocator::RowAllocator(const mem::Geometry& geo, AllocPolicy policy)
-    : geo_(geo), policy_(policy) {
+RowAllocator::RowAllocator(const mem::Geometry& geo, AllocPolicy policy,
+                           unsigned spare_rows)
+    : geo_(geo), policy_(policy), spare_rows_(spare_rows) {
   geo_.validate();
+  PIN_CHECK_MSG(spare_rows_ < geo_.rows_per_subarray,
+                "retry.spare_rows = " << spare_rows_
+                                      << " leaves no usable rows per subarray ("
+                                      << geo_.rows_per_subarray << " total)");
+  usable_rows_ = geo_.rows_per_subarray - spare_rows_;
   big_subarray_ = geo_.subarrays_per_bank;
+}
+
+std::optional<unsigned> RowAllocator::take_spare(unsigned channel,
+                                                 unsigned rank,
+                                                 unsigned subarray) {
+  unsigned& taken = spares_taken_[{channel, rank, subarray}];
+  if (taken >= spare_rows_) return std::nullopt;
+  ++taken;
+  // Highest row first: spares live at the bottom of the subarray.
+  return geo_.rows_per_subarray - taken;
 }
 
 VectorShape RowAllocator::shape_of(std::uint64_t bits) const {
@@ -34,10 +50,10 @@ VectorShape RowAllocator::shape_of(std::uint64_t bits) const {
 
 Placement RowAllocator::allocate(std::uint64_t bits) {
   const VectorShape s = shape_of(bits);
-  PIN_CHECK_MSG(s.rows <= geo_.rows_per_subarray,
+  PIN_CHECK_MSG(s.rows <= usable_rows_,
                 "vector of " << bits
                              << " bits exceeds one subarray per rank ("
-                             << geo_.rows_per_subarray << " rows)");
+                             << usable_rows_ << " usable rows)");
   // Reuse a freed slot of the same shape first.
   const auto key = std::make_pair(s.stripes, s.groups);
   if (auto it = free_.find(key); it != free_.end() && !it->second.empty()) {
@@ -54,7 +70,7 @@ Placement RowAllocator::allocate(std::uint64_t bits) {
 
 Placement RowAllocator::place_big(const VectorShape& s, std::uint64_t bits) {
   // Rank-mirrored region growing down from the top subarray.
-  if (big_row_ == 0 || big_row_ + s.rows > geo_.rows_per_subarray) {
+  if (big_row_ == 0 || big_row_ + s.rows > usable_rows_) {
     PIN_CHECK_MSG(big_subarray_ > 0, "machine full (large vectors)");
     const unsigned target = big_subarray_ - 1;
     // The mirrored region occupies `target` in EVERY rank; the small-vector
@@ -84,7 +100,7 @@ Placement RowAllocator::place_big(const VectorShape& s, std::uint64_t bits) {
 Placement RowAllocator::place_at_cursor(const VectorShape& s,
                                         std::uint64_t bits) {
   const unsigned total_stripes = geo_.sa_mux_share;
-  const unsigned rows = geo_.rows_per_subarray;
+  const unsigned rows = usable_rows_;
   const std::uint64_t subarrays_total =
       static_cast<std::uint64_t>(geo_.channels) * geo_.ranks_per_channel *
       geo_.subarrays_per_bank;
@@ -171,8 +187,8 @@ void RowAllocator::free(const Placement& p) {
 Placement RowAllocator::virtual_placement(std::uint64_t index,
                                           std::uint64_t bits) const {
   const VectorShape s = shape_of(bits);
-  PIN_CHECK(s.rows <= geo_.rows_per_subarray);
-  const unsigned rows = geo_.rows_per_subarray;
+  PIN_CHECK(s.rows <= usable_rows_);
+  const unsigned rows = usable_rows_;
   const unsigned total_stripes = geo_.sa_mux_share;
   const std::uint64_t subarrays_total =
       static_cast<std::uint64_t>(geo_.channels) * geo_.ranks_per_channel *

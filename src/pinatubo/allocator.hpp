@@ -23,6 +23,8 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <tuple>
 #include <vector>
 
 #include "mem/geometry.hpp"
@@ -92,7 +94,11 @@ struct VectorShape {
 
 class RowAllocator {
  public:
-  RowAllocator(const mem::Geometry& geo, AllocPolicy policy);
+  /// `spare_rows` rows at the bottom of every subarray are withheld from
+  /// allocation and handed out only through `take_spare` — the reliability
+  /// layer's remap targets.  0 (the default) changes nothing.
+  RowAllocator(const mem::Geometry& geo, AllocPolicy policy,
+               unsigned spare_rows = 0);
 
   /// Shape a vector of `bits` takes (stripes within a group, group count).
   VectorShape shape_of(std::uint64_t bits) const;
@@ -107,6 +113,12 @@ class RowAllocator {
   std::uint64_t allocated_vectors() const { return live_; }
   AllocPolicy policy() const { return policy_; }
   const mem::Geometry& geometry() const { return geo_; }
+  unsigned spare_rows() const { return spare_rows_; }
+
+  /// Hands out the next reserved spare row of (channel, rank, subarray),
+  /// highest row first; nullopt when the subarray's spares are exhausted.
+  std::optional<unsigned> take_spare(unsigned channel, unsigned rank,
+                                     unsigned subarray);
 
   /// Purely arithmetic placement for virtual (capacity-unbounded) timing
   /// studies: the placement this allocator's policy would give the
@@ -129,6 +141,10 @@ class RowAllocator {
 
   mem::Geometry geo_;
   AllocPolicy policy_;
+  unsigned spare_rows_ = 0;
+  unsigned usable_rows_ = 0;  ///< rows_per_subarray - spare_rows_
+  // Spares handed out per (channel, rank, subarray).
+  std::map<std::tuple<unsigned, unsigned, unsigned>, unsigned> spares_taken_;
   Cursor cur_;
   // Multi-group (rank-mirrored) vectors grow downward from the top
   // subarray so they never collide with the single-group cursor.

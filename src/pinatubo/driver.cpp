@@ -12,10 +12,25 @@ PimRuntime::PimRuntime(const mem::Geometry& geo)
 
 PimRuntime::PimRuntime(const mem::Geometry& geo, const Options& opts)
     : opts_(opts), mem_(geo, opts.tech, opts.fidelity, opts.seed),
-      alloc_(geo, opts.policy),
+      alloc_(geo, opts.policy,
+             opts.reliability.spares_needed() ? opts.reliability.retry.spare_rows
+                                              : 0),
       sched_(geo, SchedulerConfig{opts.max_rows, opts.tech}),
       cost_model_(geo, opts.tech, opts.result_density),
-      engine_(cost_model_, EngineOptions{opts.serial_execution}) {}
+      engine_(cost_model_, EngineOptions{opts.serial_execution}) {
+  if (opts_.reliability.fault.enabled) {
+    fault_model_ =
+        std::make_unique<reliability::FaultModel>(opts_.reliability.fault);
+    mem_.set_fault_hooks(fault_model_.get());
+  }
+  if (opts_.reliability.detection_enabled()) {
+    relmgr_ = std::make_unique<reliability::RecoveryManager>(
+        mem_, opts_.reliability,
+        [this](unsigned ch, unsigned rk, unsigned sub) {
+          return alloc_.take_spare(ch, rk, sub);
+        });
+  }
+}
 
 PimRuntime::Handle PimRuntime::pim_malloc(std::uint64_t bits) {
   const Placement p = alloc_.allocate(bits);
@@ -88,9 +103,24 @@ void PimRuntime::scatter(const Placement& p, const BitVector& v) {
     for (unsigned b = 0; b < g.banks_per_chip; ++b) {
       if (!touched[b]) continue;
       mem::RowAddr a{p.channel, rk, b, p.subarray, row};
-      mem_.write_row(a, bank_rows[b]);
+      store_row(a, bank_rows[b]);
     }
   }
+}
+
+void PimRuntime::store_row(const mem::RowAddr& addr, const BitVector& data) {
+  if (relmgr_)
+    relmgr_->write(addr, 0, data);
+  else
+    mem_.write_row(addr, data);
+}
+
+void PimRuntime::store_window(const mem::RowAddr& addr, std::size_t bit_offset,
+                              const BitVector& data) {
+  if (relmgr_)
+    relmgr_->write(addr, bit_offset, data);
+  else
+    mem_.write_row_partial(addr, bit_offset, data);
 }
 
 BitVector PimRuntime::gather(const Placement& p) const {
@@ -126,6 +156,7 @@ void PimRuntime::pim_write(Handle h, const BitVector& data) {
   PIN_CHECK_MSG(data.size() == p.bits,
                 "vector is " << p.bits << " bits, got " << data.size());
   scatter(p, data);
+  sync_reliability();
 }
 
 BitVector PimRuntime::pim_read(Handle h) const { return gather(placement(h)); }
@@ -178,6 +209,188 @@ void PimRuntime::execute_intra(BitOp op, const std::vector<Placement>& srcs_in,
       }
     }
   }
+}
+
+bool PimRuntime::execute_intra_reliable(BitOp op,
+                                        const std::vector<Placement>& srcs_in,
+                                        const Placement& dst,
+                                        unsigned max_rows, OpPlan& executed) {
+  // Same in-place ordering rule as execute_intra: dst-aliasing operands
+  // must be consumed by the first activation.
+  std::vector<Placement> srcs = srcs_in;
+  std::stable_partition(srcs.begin(), srcs.end(), [&](const Placement& p) {
+    return p.same_subarray(dst) && p.first_row == dst.first_row &&
+           p.column_aligned(dst);
+  });
+  for (std::uint64_t grp = 0; grp < dst.groups; ++grp) {
+    if (op == BitOp::kInv) {
+      if (!reliable_activation(op, {srcs[0]}, dst, grp, executed))
+        return false;
+      continue;
+    }
+    const auto n = static_cast<unsigned>(srcs.size());
+    unsigned consumed = std::min(max_rows, n);
+    std::vector<Placement> set(srcs.begin(), srcs.begin() + consumed);
+    if (!reliable_activation(op, set, dst, grp, executed)) return false;
+    while (consumed < n) {
+      const unsigned k = std::min(max_rows, n - consumed + 1);
+      set.assign(1, dst);  // accumulator
+      set.insert(set.end(), srcs.begin() + consumed,
+                 srcs.begin() + consumed + (k - 1));
+      if (!reliable_activation(op, set, dst, grp, executed)) return false;
+      consumed += k - 1;
+    }
+  }
+  return true;
+}
+
+bool PimRuntime::reliable_activation(BitOp op,
+                                     const std::vector<Placement>& operands,
+                                     const Placement& dst, std::uint64_t grp,
+                                     OpPlan& executed) {
+  using reliability::SenseVerify;
+  using reliability::WriteVerify;
+  const auto& g = mem_.geometry();
+  const unsigned ranks = g.ranks_per_channel;
+  const std::uint64_t group_bits = g.row_group_bits();
+  const std::uint64_t step_bits = g.sense_step_bits();
+  const std::uint64_t bank_share = step_bits / g.banks_per_chip;
+  const std::size_t win_lo = dst.col_stripe * bank_share;
+  const std::size_t win_len = dst.stripes * bank_share;
+  const std::uint64_t bits_g =
+      std::min(dst.bits - grp * group_bits,
+               dst.groups == 1 ? dst.bits : group_bits);
+  const auto cols =
+      static_cast<unsigned>((bits_g + step_bits - 1) / step_bits);
+  const auto k = static_cast<unsigned>(operands.size());
+  const auto& rel = opts_.reliability;
+
+  auto addr_of = [&](const Placement& p, unsigned bank) {
+    return mem::RowAddr{p.channel, p.group_rank(grp, ranks), bank, p.subarray,
+                        p.group_row(grp, ranks)};
+  };
+  // Steps mirror plan_intra's shape so the cost model prices the executed
+  // ladder exactly like a scheduler-produced plan would be.
+  auto make_step = [&](StepKind kind, unsigned rows, bool writeback,
+                       unsigned attempt, std::vector<mem::RowAddr> reads) {
+    PlanStep st;
+    st.kind = kind;
+    st.op = op;
+    st.rows = rows;
+    st.col_steps = cols;
+    st.bits = bits_g;
+    st.writeback = writeback;
+    st.channel = dst.channel;
+    st.rank = dst.group_rank(grp, ranks);
+    st.subarray = dst.subarray;
+    st.row = dst.group_row(grp, ranks);
+    st.col_start = dst.col_stripe;
+    st.group = grp;
+    st.attempt = attempt;
+    st.reads = std::move(reads);
+    st.read_cols.assign(st.reads.size(), dst.col_stripe);
+    st.write = addr_of(dst, 0);
+    return st;
+  };
+  std::vector<mem::RowAddr> plan_reads;
+  plan_reads.reserve(operands.size());
+  for (const auto& p : operands) plan_reads.push_back(addr_of(p, 0));
+
+  for (unsigned attempt = 0; attempt <= rel.retry.max_resense; ++attempt) {
+    if (attempt > 0) ++relmgr_->counters().retries;
+    // Sense every bank of the lock-step cluster; verify per the policy.
+    std::vector<BitVector> sensed(g.banks_per_chip);
+    unsigned bad = 0;
+    for (unsigned b = 0; b < g.banks_per_chip; ++b) {
+      std::vector<mem::RowAddr> rows;
+      rows.reserve(operands.size());
+      for (const auto& p : operands) rows.push_back(addr_of(p, b));
+      BitVector window(win_len);
+      copy_bits(window.words(), 0, mem_.sense_rows(rows, op).words(), win_lo,
+                win_len);
+      bool ok_b = true;
+      if (rel.verify.sense == SenseVerify::kReadback) {
+        ok_b = window == relmgr_->expected_window(rows, op, win_lo, win_len);
+      } else if (rel.verify.sense == SenseVerify::kDouble) {
+        BitVector second(win_len);
+        copy_bits(second.words(), 0, mem_.sense_rows(rows, op).words(),
+                  win_lo, win_len);
+        ok_b = window == second;
+      }
+      if (!ok_b) ++bad;
+      sensed[b] = std::move(window);
+    }
+    const bool ok = bad == 0;
+
+    // Price what actually happened.  Failed attempts keep their activation
+    // cost but skip the writeback; double-sensing adds a shadow activation;
+    // read-back verification is a digital fold at the global row buffer.
+    if (rel.verify.sense == SenseVerify::kDouble)
+      executed.steps.push_back(
+          make_step(StepKind::kIntraSub, k, false, attempt, plan_reads));
+    executed.steps.push_back(
+        make_step(StepKind::kIntraSub, k, ok, attempt, plan_reads));
+    if (rel.verify.sense == SenseVerify::kReadback) {
+      const unsigned vsteps = k > 1 ? k - 1 : 1;
+      for (unsigned i = 0; i < vsteps; ++i) {
+        const std::size_t a = std::min<std::size_t>(i, plan_reads.size() - 1);
+        const std::size_t b =
+            std::min<std::size_t>(i + 1, plan_reads.size() - 1);
+        std::vector<mem::RowAddr> pr{plan_reads[a]};
+        if (b != a) pr.push_back(plan_reads[b]);
+        executed.steps.push_back(make_step(
+            StepKind::kInterSub, static_cast<unsigned>(pr.size()), false,
+            attempt, std::move(pr)));
+      }
+    }
+
+    if (!ok) {
+      relmgr_->counters().detected_faults += bad;
+      continue;  // re-sense: a new epoch redraws the transient flips
+    }
+
+    // Commit through the verified write path (detects persistent faults in
+    // the destination row and remaps them while the true result is known).
+    const std::uint64_t remaps_before = relmgr_->counters().remaps;
+    for (unsigned b = 0; b < g.banks_per_chip; ++b)
+      store_window(addr_of(dst, b), win_lo, sensed[b]);
+    if (rel.verify.writes != WriteVerify::kNone) {
+      PlanStep wv = make_step(
+          StepKind::kInterSub,
+          rel.verify.writes == WriteVerify::kReadback ? 2u : 1u, false,
+          attempt, {addr_of(dst, 0)});
+      if (rel.verify.writes == WriteVerify::kParity) {
+        // Parity checks one packed parity word per 64 data words.
+        wv.col_steps = 1;
+        wv.bits = std::max<std::uint64_t>(1, bits_g / 64);
+      }
+      executed.steps.push_back(std::move(wv));
+    }
+    // Each remap rewrote (and re-verified) a full rank-row in every bank.
+    for (std::uint64_t i = remaps_before; i < relmgr_->counters().remaps;
+         ++i) {
+      PlanStep rm =
+          make_step(StepKind::kIntraSub, 1, true, attempt, {addr_of(dst, 0)});
+      rm.col_steps = g.sa_mux_share;
+      rm.bits = g.row_group_bits();
+      executed.steps.push_back(std::move(rm));
+    }
+    return true;
+  }
+
+  // Retries exhausted: de-escalate the activation (OR only — AND/XOR/INV
+  // shapes are already minimal).  Halving re-enters the ladder per half at
+  // a wider sense margin, accumulating into dst.
+  if (rel.retry.deescalate && op == BitOp::kOr && k > 2) {
+    ++relmgr_->counters().deescalations;
+    const unsigned h = (k + 1) / 2;
+    const std::vector<Placement> first(operands.begin(), operands.begin() + h);
+    if (!reliable_activation(op, first, dst, grp, executed)) return false;
+    std::vector<Placement> rest{dst};  // accumulator holds the first half
+    rest.insert(rest.end(), operands.begin() + h, operands.end());
+    return reliable_activation(op, rest, dst, grp, executed);
+  }
+  return false;
 }
 
 void PimRuntime::submit(OpPlan plan) {
@@ -247,6 +460,39 @@ void PimRuntime::pim_op(BitOp op, const std::vector<Handle>& srcs, Handle dst,
 
   OpPlan plan = sched_.plan(op, src_p, dst_p, host_reads_result);
   const bool intra = plan.count(StepKind::kIntraSub) > 0;
+
+  if (intra && relmgr_) {
+    // Analog path under the recovery ladder.  Snapshot dst-aliasing
+    // operands first: a partially-executed chain overwrites dst, and the
+    // CPU fallback must still see the original operand values.
+    std::vector<std::optional<BitVector>> snapshots(src_p.size());
+    if (opts_.reliability.retry.cpu_fallback) {
+      for (std::size_t i = 0; i < src_p.size(); ++i)
+        if (src_p[i].rows_overlap(dst_p)) snapshots[i] = gather(src_p[i]);
+    }
+    OpPlan executed;
+    executed.op = op;
+    executed.bits = dst_p.bits;
+    const bool ok = execute_intra_reliable(
+        op, src_p, dst_p, sched_.effective_max_rows(op), executed);
+    if (ok) {
+      // Reuse the scheduler's host-read tail on the executed plan.
+      for (auto& st : plan.steps)
+        if (st.kind == StepKind::kHostRead)
+          executed.steps.push_back(std::move(st));
+      submit(std::move(executed));
+    } else {
+      PIN_CHECK_MSG(opts_.reliability.retry.cpu_fallback,
+                    "recovery ladder exhausted for "
+                        << to_string(op)
+                        << " and retry.cpu_fallback is disabled");
+      submit(std::move(executed));  // the failed attempts still cost time
+      fallback_op(op, src_p, dst_p, snapshots, srcs, dst, host_reads_result);
+    }
+    sync_reliability();
+    return;
+  }
+
   submit(std::move(plan));
 
   // Functional execution (eager even inside a batch: program order keeps
@@ -261,7 +507,72 @@ void PimRuntime::pim_op(BitOp op, const std::vector<Handle>& srcs, Handle dst,
     std::vector<const BitVector*> ptrs;
     for (const auto& v : operands) ptrs.push_back(&v);
     scatter(dst_p, BitVector::reduce(op, ptrs));
+    sync_reliability();  // scatter may have detected write faults
   }
+}
+
+void PimRuntime::fallback_op(BitOp op, const std::vector<Placement>& src_p,
+                             const Placement& dst_p,
+                             const std::vector<std::optional<BitVector>>& snapshots,
+                             const std::vector<Handle>& srcs, Handle dst,
+                             bool host_reads_result) {
+  // Functional: recompute from the stored operands (clean — persistent
+  // faults were healed at write time), or the pre-op snapshot when the
+  // operand aliased dst.  The result is exact by construction.
+  std::vector<BitVector> operands;
+  operands.reserve(src_p.size());
+  for (std::size_t i = 0; i < src_p.size(); ++i)
+    operands.push_back(snapshots[i] ? *snapshots[i] : gather(src_p[i]));
+  std::vector<const BitVector*> ptrs;
+  for (const auto& v : operands) ptrs.push_back(&v);
+  scatter(dst_p, BitVector::reduce(op, ptrs));
+
+  // Costed: the whole op runs as a CPU bulk kernel streaming from PCM
+  // (operand reads + result write included — no extra host-read steps, or
+  // the transfer would be double-counted).
+  if (!cpu_)
+    cpu_ = std::make_unique<sim::SimdCpuModel>(sim::CpuConfig{},
+                                               sim::MemKind::kPcm);
+  sim::TraceOp top;
+  top.op = op;
+  top.srcs = srcs;
+  top.dst = dst;
+  top.bits = dst_p.bits;
+  top.host_reads_result = host_reads_result;
+  const mem::Cost c = cpu_->bulk_op(top);
+  ++relmgr_->counters().fallbacks;
+  stats_.fallback_time_ns += c.time_ns;
+  stats_.fallback_energy_pj += c.energy.total_pj();
+  if (trace_ && trace_->enabled()) {
+    // The fallback tiles at the accrued makespan on its own host track;
+    // its category is not a step class, so SpanSums-style per-class
+    // reconciliation is unaffected while max_end still covers it.
+    const std::uint32_t tr = trace_->track("host/cpu");
+    trace_->span(std::string("cpu-fallback ") + to_string(op), cost_.time_ns,
+                 c.time_ns, tr, "cpu-fallback");
+  }
+  cost_ += c;
+  stats_.serial_time_ns += c.time_ns;
+}
+
+void PimRuntime::sync_reliability() {
+  if (!relmgr_) return;
+  const reliability::Counters& c = relmgr_->counters();
+  auto bump = [&](const char* key, std::uint64_t cur, std::uint64_t& last,
+                  std::uint64_t& stat) {
+    const std::uint64_t d = cur - last;
+    if (d == 0) return;
+    if (trace_ && trace_->enabled()) trace_->count(key, d);
+    stat += d;
+    last = cur;
+  };
+  bump("pim.detected_faults", c.detected_faults, last_rel_.detected_faults,
+       stats_.detected_faults);
+  bump("pim.retries", c.retries, last_rel_.retries, stats_.retries);
+  bump("pim.deescalations", c.deescalations, last_rel_.deescalations,
+       stats_.deescalations);
+  bump("pim.remaps", c.remaps, last_rel_.remaps, stats_.remaps);
+  bump("pim.fallbacks", c.fallbacks, last_rel_.fallbacks, stats_.fallbacks);
 }
 
 void PimRuntime::pim_copy(Handle src, Handle dst) {
@@ -273,6 +584,7 @@ void PimRuntime::pim_copy(Handle src, Handle dst) {
   // the straight copy functionally.
   submit(sched_.plan(BitOp::kInv, {src_p}, dst_p, false));
   scatter(dst_p, gather(src_p));
+  sync_reliability();
 }
 
 void PimRuntime::pim_op_batch(const std::vector<BatchOp>& ops) {
@@ -285,6 +597,19 @@ void PimRuntime::reset_cost() {
   cost_ = {};
   stats_ = {};
   commands_.clear();
+}
+
+void PimRuntime::reset_campaign() {
+  PIN_CHECK_MSG(!in_batch_, "reset_campaign inside an open batch");
+  vectors_.clear();
+  next_handle_ = 1;
+  alloc_ = RowAllocator(mem_.geometry(), opts_.policy, alloc_.spare_rows());
+  mem_.reset_campaign();  // rows, wear ledger, remaps, sense epoch
+  if (fault_model_) fault_model_->reset();
+  if (relmgr_) relmgr_->reset();
+  last_rel_ = {};
+  batch_plans_.clear();
+  reset_cost();
 }
 
 }  // namespace pinatubo::core

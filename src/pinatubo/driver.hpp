@@ -19,6 +19,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +31,9 @@
 #include "pinatubo/cost_model.hpp"
 #include "pinatubo/engine.hpp"
 #include "pinatubo/scheduler.hpp"
+#include "reliability/fault_model.hpp"
+#include "reliability/recovery.hpp"
+#include "sim/cpu_model.hpp"
 
 namespace pinatubo::core {
 
@@ -45,6 +50,9 @@ class PimRuntime {
     bool record_commands = false;   ///< keep the lowered DDR stream
     bool serial_execution = false;  ///< price ops as the serial step sum
     std::uint64_t seed = 1;
+    /// Fault injection / detection / recovery (DESIGN.md §10).  Defaults
+    /// to everything off — the runtime behaves exactly as without it.
+    reliability::Policy reliability;
   };
 
   /// Per-step-class share of the accumulated cost.
@@ -65,6 +73,15 @@ class PimRuntime {
     double serial_time_ns = 0.0;   ///< no-overlap baseline for cost().time_ns
     /// Breakdown by step class, indexed by `step_index(StepKind)`.
     ClassBreakdown by_class[kStepKindCount] = {};
+
+    // ---- reliability (mirror of the recovery manager's counters) ---------
+    std::uint64_t detected_faults = 0;  ///< verify mismatches (sense + write)
+    std::uint64_t retries = 0;          ///< extra sense attempts
+    std::uint64_t deescalations = 0;    ///< activation splits (128 -> 2x64..)
+    std::uint64_t remaps = 0;           ///< rank-rows moved to spares
+    std::uint64_t fallbacks = 0;        ///< ops completed on the CPU path
+    double fallback_time_ns = 0.0;      ///< CPU-path share of cost().time_ns
+    double fallback_energy_pj = 0.0;
   };
 
   explicit PimRuntime(const mem::Geometry& geo = {});
@@ -137,6 +154,19 @@ class PimRuntime {
   const Options& options() const { return opts_; }
   mem::MainMemory& memory() { return mem_; }
 
+  /// The attached fault model (nullptr when fault.enabled is off).
+  reliability::FaultModel* fault_model() { return fault_model_.get(); }
+  /// The recovery manager (nullptr when no verify mode is configured).
+  reliability::RecoveryManager* recovery() { return relmgr_.get(); }
+
+  /// Tears the runtime down to a fresh campaign: every vector freed, the
+  /// memory array / wear ledger / remap table / sense epoch cleared, the
+  /// fault model's dynamic state and the reliability counters reset, cost
+  /// and stats zeroed.  The fault model's static stuck-at map survives
+  /// (same chip, new campaign) — back-to-back campaigns in one process are
+  /// independent.
+  void reset_campaign();
+
  private:
   /// Scatters a logical vector into its placement's rows / column window.
   void scatter(const Placement& p, const BitVector& v);
@@ -151,6 +181,30 @@ class PimRuntime {
   /// Executes an intra-subarray chained sense per the plan semantics.
   void execute_intra(BitOp op, const std::vector<Placement>& srcs,
                      const Placement& dst, unsigned max_rows);
+  /// Routes a write through the recovery manager when one is attached
+  /// (verify-after-write + remap); plain store otherwise.
+  void store_row(const mem::RowAddr& addr, const BitVector& data);
+  void store_window(const mem::RowAddr& addr, std::size_t bit_offset,
+                    const BitVector& data);
+  /// Reliable variant of execute_intra: every activation runs the
+  /// verify/retry/de-escalate ladder and appends the steps it actually
+  /// took (failed attempts included) to `executed`.  Returns false when
+  /// the ladder is exhausted and the op must fall back to the CPU.
+  bool execute_intra_reliable(BitOp op, const std::vector<Placement>& srcs,
+                              const Placement& dst, unsigned max_rows,
+                              OpPlan& executed);
+  /// One logical activation (all banks, lock-step) under the ladder.
+  bool reliable_activation(BitOp op, const std::vector<Placement>& operands,
+                           const Placement& dst, std::uint64_t grp,
+                           OpPlan& executed);
+  /// Final rung: compute the op on the (priced) CPU path, never wrong.
+  void fallback_op(BitOp op, const std::vector<Placement>& src_p,
+                   const Placement& dst_p,
+                   const std::vector<std::optional<BitVector>>& snapshots,
+                   const std::vector<Handle>& srcs, Handle dst,
+                   bool host_reads_result);
+  /// Mirrors the recovery counters into Stats and the pim.* trace counters.
+  void sync_reliability();
   /// Counts the plan into stats and routes it: enqueue when a batch is
   /// open, price as a batch-of-one otherwise.
   void submit(OpPlan plan);
@@ -171,6 +225,10 @@ class PimRuntime {
   obs::TraceSession* trace_ = nullptr;
   bool in_batch_ = false;
   std::vector<OpPlan> batch_plans_;
+  std::unique_ptr<reliability::FaultModel> fault_model_;
+  std::unique_ptr<reliability::RecoveryManager> relmgr_;
+  std::unique_ptr<sim::SimdCpuModel> cpu_;  ///< lazy fallback cost model
+  reliability::Counters last_rel_;          ///< sync_reliability snapshot
 };
 
 }  // namespace pinatubo::core

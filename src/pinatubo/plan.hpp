@@ -43,6 +43,7 @@ struct PlanStep {
   unsigned col_start = 0;     ///< first column stripe the step touches
   std::uint64_t group = 0;    ///< group index within the op
   bool crosses_rank = false;  ///< inter-bank step needing a bus hop
+  unsigned attempt = 0;       ///< reliability retry ordinal (0 = first try)
 
   /// Concrete operand rows this step opens (intra: all simultaneously
   /// activated rows; buffer: the rows latched into the buffer; host-read:

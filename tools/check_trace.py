@@ -14,7 +14,10 @@ Exit status 0 on success; 1 with a diagnostic on the first violation.
 import json
 import sys
 
-EPS_US = 1e-6  # slack for the ns -> us fixed-point rounding in the exporter
+# Slack for the ns -> us fixed-point rounding in the exporter: ts and dur
+# are each written at 4-decimal (0.1 ns) resolution, so their sum can land
+# up to 1e-4 us past the exactly-reported max_span_end_ns.
+EPS_US = 1.01e-4
 
 
 def fail(msg):
