@@ -11,6 +11,8 @@ namespace pinatubo {
 namespace {
 
 unsigned env_default_threads() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, before any worker
+  // thread exists — the result seeds the pool size under global_mu().
   if (const char* env = std::getenv("PINATUBO_THREADS")) {
     const long v = std::strtol(env, nullptr, 10);
     if (v >= 1) return static_cast<unsigned>(v);

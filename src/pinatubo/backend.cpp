@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "obs/schedule_trace.hpp"
 #include "pinatubo/engine.hpp"
+#include "verify/verifier.hpp"
 
 namespace pinatubo::core {
 
@@ -53,6 +54,13 @@ sim::BackendResult PinatuboBackend::execute(const sim::OpTrace& trace) {
   // across ranks (or serializes them under cfg.serial).
   const ExecutionEngine engine(model, EngineOptions{cfg_.serial});
   const ExecutionEngine::Result r = engine.run(plans);
+  if (cfg_.verify != reliability::VerifyLevel::kOff) {
+    const verify::Verifier verifier(model, cfg_.max_rows);
+    const verify::Report rep = verifier.check(plans, r, cfg_.serial);
+    PIN_CHECK_MSG(rep.ok(), "static verifier rejected trace '"
+                                << trace.name << "':\n"
+                                << rep.to_string());
+  }
   if (trace_ && trace_->enabled()) {
     trace_t0_ = obs::render_schedule(*trace_, plans, r, trace_t0_);
     trace_->count("backend.batches");

@@ -14,6 +14,7 @@
 #include "pinatubo/allocator.hpp"
 #include "pinatubo/cost_model.hpp"
 #include "pinatubo/scheduler.hpp"
+#include "reliability/policy.hpp"
 #include "sim/backend.hpp"
 #include "sim/cpu_model.hpp"
 
@@ -26,6 +27,10 @@ struct PinatuboBackendConfig {
   /// Price traces as the program-order serial sum instead of the
   /// execution engine's dependency-aware overlapped schedule.
   bool serial = false;
+  /// Static verifier gate over every priced trace (DESIGN.md §11).  kPost
+  /// and kAlways are equivalent here — the backend sees whole batches, not
+  /// incremental submissions.  Defaults to the build-type default.
+  reliability::VerifyLevel verify = reliability::VerifyConfig{}.level;
 };
 
 class PinatuboBackend final : public sim::Backend {

@@ -30,6 +30,9 @@ PimRuntime::PimRuntime(const mem::Geometry& geo, const Options& opts)
           return alloc_.take_spare(ch, rk, sub);
         });
   }
+  if (opts_.reliability.verify.level != reliability::VerifyLevel::kOff)
+    verifier_ =
+        std::make_unique<verify::Verifier>(cost_model_, opts_.max_rows);
 }
 
 PimRuntime::Handle PimRuntime::pim_malloc(std::uint64_t bits) {
@@ -338,9 +341,12 @@ bool PimRuntime::reliable_activation(BitOp op,
             std::min<std::size_t>(i + 1, plan_reads.size() - 1);
         std::vector<mem::RowAddr> pr{plan_reads[a]};
         if (b != a) pr.push_back(plan_reads[b]);
-        executed.steps.push_back(make_step(
-            StepKind::kInterSub, static_cast<unsigned>(pr.size()), false,
-            attempt, std::move(pr)));
+        // Hoisted: argument evaluation order is unspecified, so reading
+        // pr.size() in the same call that moves pr yields 0 under gcc and
+        // the verify step loses its row count.
+        const auto nr = static_cast<unsigned>(pr.size());
+        executed.steps.push_back(
+            make_step(StepKind::kInterSub, nr, false, attempt, std::move(pr)));
       }
     }
 
@@ -373,6 +379,11 @@ bool PimRuntime::reliable_activation(BitOp op,
           make_step(StepKind::kIntraSub, 1, true, attempt, {addr_of(dst, 0)});
       rm.col_steps = g.sa_mux_share;
       rm.bits = g.row_group_bits();
+      // The remap rewrites the full rank-row, not dst's column stripe:
+      // make_step's window (col_start = col_stripe) would overflow the mux
+      // share and hide the step's true footprint from hazard analysis.
+      rm.col_start = 0;
+      rm.read_cols.assign(rm.reads.size(), 0);
       executed.steps.push_back(std::move(rm));
     }
     return true;
@@ -395,6 +406,14 @@ bool PimRuntime::reliable_activation(BitOp op,
 
 void PimRuntime::submit(OpPlan plan) {
   ++stats_.ops;
+  if (verifier_ &&
+      opts_.reliability.verify.level == reliability::VerifyLevel::kAlways) {
+    const verify::Report rep = verifier_->check(plan);
+    PIN_CHECK_MSG(rep.ok(),
+                  "static verifier rejected a submitted plan ("
+                      << plan.summary() << "):\n"
+                      << rep.to_string());
+  }
   if (trace_ && trace_->enabled()) trace_->count("pim.ops");
   stats_.intra_steps += plan.count(StepKind::kIntraSub);
   stats_.inter_sub_steps += plan.count(StepKind::kInterSub);
@@ -410,6 +429,13 @@ void PimRuntime::submit(OpPlan plan) {
 
 void PimRuntime::flush(const std::vector<OpPlan>& plans) {
   const ExecutionEngine::Result r = engine_.run(plans);
+  if (verifier_) {
+    const verify::Report rep =
+        verifier_->check(plans, r, opts_.serial_execution);
+    PIN_CHECK_MSG(rep.ok(), "static verifier rejected a batch of "
+                                << plans.size() << " plans:\n"
+                                << rep.to_string());
+  }
   if (trace_ && trace_->enabled()) {
     // Batches tile the trace timeline exactly where they accrue into
     // cost_: batch i starts at the makespan accumulated before it.

@@ -34,6 +34,7 @@
 #include "reliability/fault_model.hpp"
 #include "reliability/recovery.hpp"
 #include "sim/cpu_model.hpp"
+#include "verify/verifier.hpp"
 
 namespace pinatubo::core {
 
@@ -158,6 +159,11 @@ class PimRuntime {
   reliability::FaultModel* fault_model() { return fault_model_.get(); }
   /// The recovery manager (nullptr when no verify mode is configured).
   reliability::RecoveryManager* recovery() { return relmgr_.get(); }
+  /// The static verifier (nullptr when `reliability.verify.level` is off).
+  /// At kAlways every submitted plan passes the protocol pass and every
+  /// batch the full three-pass check; kPost skips the per-submit check.  A
+  /// violation throws `Error` with the verifier's diagnostics.
+  verify::Verifier* verifier() { return verifier_.get(); }
 
   /// Tears the runtime down to a fresh campaign: every vector freed, the
   /// memory array / wear ledger / remap table / sense epoch cleared, the
@@ -227,6 +233,7 @@ class PimRuntime {
   std::vector<OpPlan> batch_plans_;
   std::unique_ptr<reliability::FaultModel> fault_model_;
   std::unique_ptr<reliability::RecoveryManager> relmgr_;
+  std::unique_ptr<verify::Verifier> verifier_;
   std::unique_ptr<sim::SimdCpuModel> cpu_;  ///< lazy fallback cost model
   reliability::Counters last_rel_;          ///< sync_reliability snapshot
 };

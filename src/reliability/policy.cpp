@@ -30,6 +30,18 @@ const char* to_string(WriteVerify v) {
   return "?";
 }
 
+const char* to_string(VerifyLevel v) {
+  switch (v) {
+    case VerifyLevel::kOff:
+      return "off";
+    case VerifyLevel::kPost:
+      return "post";
+    case VerifyLevel::kAlways:
+      return "always";
+  }
+  return "?";
+}
+
 namespace {
 
 constexpr const char* kKnownKeys[] = {
@@ -37,7 +49,8 @@ constexpr const char* kKnownKeys[] = {
     "fault.stuck_rate",  "fault.sense_ber",
     "fault.drift_rate",  "fault.endurance_cycles",
     "fault.wearout_rate", "verify.sense",
-    "verify.writes",     "retry.max_resense",
+    "verify.writes",     "verify.level",
+    "retry.max_resense",
     "retry.deescalate",  "retry.remap",
     "retry.cpu_fallback", "retry.spare_rows",
 };
@@ -81,6 +94,13 @@ WriteVerify parse_write_verify(const std::string& s) {
   PIN_UNREACHABLE("verify.writes = '" + s + "'; expected none|parity|readback");
 }
 
+VerifyLevel parse_verify_level(const std::string& s) {
+  if (s == "off") return VerifyLevel::kOff;
+  if (s == "post") return VerifyLevel::kPost;
+  if (s == "always") return VerifyLevel::kAlways;
+  PIN_UNREACHABLE("verify.level = '" + s + "'; expected off|post|always");
+}
+
 }  // namespace
 
 Policy policy_from_config(const Config& cfg) {
@@ -103,6 +123,10 @@ Policy policy_from_config(const Config& cfg) {
   p.verify.sense = parse_sense_verify(cfg.get_or("verify.sense", verify_def));
   p.verify.writes =
       parse_write_verify(cfg.get_or("verify.writes", verify_def));
+  // An empty default keeps the build-type default (always in Debug, off in
+  // Release) unless the config says otherwise.
+  const std::string level = cfg.get_or("verify.level", "");
+  if (!level.empty()) p.verify.level = parse_verify_level(level);
 
   const std::uint64_t resense = cfg.get_u64("retry.max_resense", 2);
   PIN_CHECK_MSG(resense <= 1000, "retry.max_resense = " << resense
@@ -136,6 +160,7 @@ std::vector<std::pair<std::string, std::string>> describe(const Policy& p) {
   }
   rows.emplace_back("verify.sense", to_string(p.verify.sense));
   rows.emplace_back("verify.writes", to_string(p.verify.writes));
+  rows.emplace_back("verify.level", to_string(p.verify.level));
   if (p.detection_enabled()) {
     rows.emplace_back("retry.max_resense",
                       std::to_string(p.retry.max_resense));

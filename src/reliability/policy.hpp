@@ -16,6 +16,10 @@
 //   verify.*  — detection, priced honestly through the cost model:
 //     verify.sense = none | double | readback
 //     verify.writes = none | parity | readback
+//     verify.level = off | post | always    static verifier (DESIGN.md §11):
+//                    `post` checks the full batch after scheduling, `always`
+//                    additionally checks each plan at submit time.  Defaults
+//                    to `always` in Debug builds, `off` in Release.
 //
 //   retry.*   — the escalation ladder:
 //     retry.max_resense       extra sense attempts before de-escalating
@@ -51,8 +55,19 @@ enum class WriteVerify : std::uint8_t {
   kReadback,  ///< read the row back and compare — exact
 };
 
+/// How hard the static plan/schedule verifier (`verify::Verifier`) gates
+/// the runtime.  It prices every step again and re-derives the hazard
+/// graph, so Release builds default to `kOff` while Debug builds keep the
+/// full wall up.
+enum class VerifyLevel : std::uint8_t {
+  kOff,     ///< never run the verifier
+  kPost,    ///< verify each batch (plans + schedule + accounting) at flush
+  kAlways,  ///< kPost, plus a protocol check of every plan at submit
+};
+
 const char* to_string(SenseVerify v);
 const char* to_string(WriteVerify v);
+const char* to_string(VerifyLevel v);
 
 struct FaultConfig {
   bool enabled = false;
@@ -67,6 +82,11 @@ struct FaultConfig {
 struct VerifyConfig {
   SenseVerify sense = SenseVerify::kNone;
   WriteVerify writes = WriteVerify::kNone;
+#ifdef NDEBUG
+  VerifyLevel level = VerifyLevel::kOff;
+#else
+  VerifyLevel level = VerifyLevel::kAlways;
+#endif
 };
 
 struct RetryConfig {

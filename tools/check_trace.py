@@ -8,9 +8,16 @@ Checks (stdlib only, used by the bench-smoke CI job):
   * metadata events are limited to the known thread-layout kinds;
   * every span ends by otherData.max_span_end_ns (the reconciled makespan).
 
+With --lint-summary <summary.json>, additionally cross-checks the trace
+against the summary plan_lint --trace wrote for the same file: the two
+readers (this script's json module and plan_lint's C++ parser) must agree
+on span count, category histogram, makespan, and counters — a disagreement
+means one of the readers, or the exporter, is lying.
+
 Exit status 0 on success; 1 with a diagnostic on the first violation.
 """
 
+import argparse
 import json
 import sys
 
@@ -18,6 +25,9 @@ import sys
 # are each written at 4-decimal (0.1 ns) resolution, so their sum can land
 # up to 1e-4 us past the exactly-reported max_span_end_ns.
 EPS_US = 1.01e-4
+# Same slack expressed in ns, doubled for the two independent roundings
+# compared in the summary cross-check (matches verify::kEpsNs).
+EPS_NS = 0.21
 
 
 def fail(msg):
@@ -25,16 +35,16 @@ def fail(msg):
     sys.exit(1)
 
 
-def main():
-    if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} <trace.json>")
-    path = sys.argv[1]
+def load_json(path, what):
     try:
         with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        fail(f"{path}: {e}")
+        fail(f"{what} {path}: {e}")
 
+
+def scan_trace(doc):
+    """Validate the event stream; return (spans, by_category, max_end_us)."""
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         fail("top level must be an object with a 'traceEvents' array")
     events = doc["traceEvents"]
@@ -47,6 +57,8 @@ def main():
         limit_us = float(max_end_ns) / 1e3 + EPS_US
 
     spans = 0
+    by_category = {}
+    max_end_us = 0.0
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             fail(f"event {i} is not an object")
@@ -67,12 +79,63 @@ def main():
         if limit_us is not None and ts + dur > limit_us:
             fail(f"event {i}: span ends at {ts + dur} us, past the "
                  f"reported makespan {limit_us} us")
+        cat = ev.get("cat", "")
+        by_category[cat] = by_category.get(cat, 0) + 1
+        max_end_us = max(max_end_us, ts + dur)
         spans += 1
 
     if spans == 0:
         fail("no complete ('ph': 'X') events — empty schedule?")
-    print(f"check_trace: OK: {path}: {spans} spans, "
+    return spans, by_category, max_end_us
+
+
+def cross_check(doc, spans, by_category, max_end_us, summary):
+    """Compare this script's read of the trace with plan_lint's summary."""
+    if summary.get("ok") is not True:
+        fail(f"lint summary says the trace is dirty: "
+             f"{summary.get('diagnostics')}")
+    if summary.get("spans") != spans:
+        fail(f"span count disagrees: summary says {summary.get('spans')}, "
+             f"trace has {spans}")
+    lint_cats = summary.get("spans_by_category", {})
+    if lint_cats and lint_cats != by_category:
+        fail(f"category histogram disagrees: summary {lint_cats} vs "
+             f"trace {by_category}")
+    lint_end = summary.get("max_end_ns")
+    if lint_end is not None and abs(lint_end - max_end_us * 1e3) > EPS_NS:
+        fail(f"max span end disagrees: summary {lint_end} ns vs "
+             f"trace {max_end_us * 1e3} ns")
+    counters = doc.get("otherData", {}).get("counters")
+    lint_counters = summary.get("counters")
+    if counters and lint_counters:
+        for name, val in counters.items():
+            got = lint_counters.get(name)
+            if got is None or abs(float(got) - float(val)) > 1e-4:
+                fail(f"counter {name!r} disagrees: summary {got}, "
+                     f"trace {val}")
+    print(f"check_trace: OK: summary cross-check agrees "
+          f"({spans} spans, {len(by_category)} categories)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--lint-summary", metavar="FILE",
+                    help="summary JSON written by plan_lint --trace "
+                         "... --summary FILE; cross-checked against the trace")
+    args = ap.parse_args()
+
+    doc = load_json(args.trace, "trace")
+    spans, by_category, max_end_us = scan_trace(doc)
+
+    max_end_ns = doc.get("otherData", {}).get("max_span_end_ns")
+    print(f"check_trace: OK: {args.trace}: {spans} spans, "
           f"makespan {max_end_ns if max_end_ns is not None else 'n/a'} ns")
+
+    if args.lint_summary:
+        summary = load_json(args.lint_summary, "lint summary")
+        cross_check(doc, spans, by_category, max_end_us, summary)
 
 
 if __name__ == "__main__":
